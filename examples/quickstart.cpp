@@ -1,0 +1,59 @@
+/// \file quickstart.cpp
+/// \brief Minimal end-to-end use of the library: describe a cluster, let the
+/// knapsack heuristic pick the processor groups, simulate the campaign, and
+/// read the results.
+///
+///   $ ./quickstart [resources] [scenarios] [months]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/ensemble_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oagrid;
+
+  const ProcCount resources = argc > 1 ? std::atoi(argv[1]) : 53;
+  const Count scenarios = argc > 2 ? std::atoll(argv[2]) : 10;
+  const Count months = argc > 3 ? std::atoll(argv[3]) : 150;
+
+  // 1. A platform: one Grid'5000-like cluster (benchmarked time tables for
+  //    the moldable main task and the fused post-processing task).
+  const platform::Cluster cluster =
+      platform::make_builtin_cluster(1, resources);
+  std::cout << "Cluster '" << cluster.name() << "' with "
+            << cluster.resources() << " processors\n";
+  std::cout << "  main task: " << cluster.main_time(cluster.min_group())
+            << " s on " << cluster.min_group() << " procs, "
+            << cluster.main_time(cluster.max_group()) << " s on "
+            << cluster.max_group() << " procs; post task "
+            << cluster.post_time() << " s\n\n";
+
+  // 2. A workload: NS independent climate scenarios of NM months each.
+  const appmodel::Ensemble ensemble{scenarios, months};
+  std::cout << "Workload: " << ensemble.scenarios << " scenarios x "
+            << ensemble.months << " months = " << ensemble.total_tasks()
+            << " (main, post) task pairs\n\n";
+
+  // 3. Compare the paper's four heuristics.
+  TableWriter table({"heuristic", "grouping", "makespan", "human", "gain"});
+  Seconds basic_makespan = 0.0;
+  for (const auto h :
+       {sched::Heuristic::kBasic, sched::Heuristic::kRedistribute,
+        sched::Heuristic::kAllForMain, sched::Heuristic::kKnapsack}) {
+    const sched::GroupSchedule schedule =
+        sched::make_schedule(h, cluster, ensemble);
+    const sim::SimResult result =
+        sim::simulate_ensemble(cluster, schedule, ensemble);
+    if (h == sched::Heuristic::kBasic) basic_makespan = result.makespan;
+    const double gain =
+        100.0 * (basic_makespan - result.makespan) / basic_makespan;
+    table.add_row({to_string(h), schedule.describe(), fmt(result.makespan, 0),
+                   fmt_duration(result.makespan), fmt(gain, 2) + "%"});
+  }
+  table.print(std::cout);
+  return 0;
+}

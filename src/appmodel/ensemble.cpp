@@ -1,0 +1,14 @@
+#include "appmodel/ensemble.hpp"
+
+namespace oagrid::appmodel {
+
+std::vector<dag::ChainedDag> build_fused_chains(const Ensemble& ensemble) {
+  ensemble.validate();
+  std::vector<dag::ChainedDag> chains;
+  chains.reserve(static_cast<std::size_t>(ensemble.scenarios));
+  for (Count s = 0; s < ensemble.scenarios; ++s)
+    chains.push_back(make_fused_scenario(static_cast<int>(ensemble.months)));
+  return chains;
+}
+
+}  // namespace oagrid::appmodel

@@ -1,0 +1,50 @@
+#pragma once
+/// \file month.hpp
+/// \brief Builders for the monthly-simulation DAG, in both the detailed
+/// (Figure 1) and fused (Figure 2) forms, and for whole scenario chains.
+
+#include "appmodel/tasks.hpp"
+#include "dag/chain.hpp"
+#include "dag/dag.hpp"
+
+namespace oagrid::appmodel {
+
+/// The six-task monthly DAG of Figure 1 (one month):
+///
+///   {caif, mp} --> pcr --> cof --> emi --> cd
+///
+/// pcr is moldable on [kMinGroupSize, kMaxGroupSize]; the five others are
+/// single-processor rigid tasks.
+struct MonthDag {
+  dag::Dag graph;
+  dag::NodeId caif = dag::kInvalidNode;
+  dag::NodeId mp = dag::kInvalidNode;
+  dag::NodeId pcr = dag::kInvalidNode;
+  dag::NodeId cof = dag::kInvalidNode;
+  dag::NodeId emi = dag::kInvalidNode;
+  dag::NodeId cd = dag::kInvalidNode;
+};
+[[nodiscard]] MonthDag make_month_dag();
+
+/// The fused two-task month of Figure 2: main --> post.
+struct FusedMonth {
+  dag::Dag graph;
+  dag::NodeId main = dag::kInvalidNode;
+  dag::NodeId post = dag::kInvalidNode;
+};
+[[nodiscard]] FusedMonth make_fused_month();
+
+/// Chains `months` detailed month DAGs: pcr of month m feeds caif and mp of
+/// month m+1 with the 120 MB restart volume (Figure 1's inter-month edges).
+[[nodiscard]] dag::ChainedDag make_detailed_scenario(int months);
+
+/// Chains `months` fused months: main_m -> main_{m+1} at 120 MB (Figure 2).
+[[nodiscard]] dag::ChainedDag make_fused_scenario(int months);
+
+/// Verifies the fusion is sound on the reference platform: the fused main /
+/// post reference durations equal the sums of their constituents, and the
+/// detailed and fused scenario chains have equal critical paths. Returns the
+/// common critical path (used by tests and the Figure 1 bench).
+[[nodiscard]] Seconds fused_model_critical_path_check(int months);
+
+}  // namespace oagrid::appmodel

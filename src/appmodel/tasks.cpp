@@ -1,0 +1,53 @@
+#include "appmodel/tasks.hpp"
+
+namespace oagrid::appmodel {
+
+std::string_view short_name(TaskKind kind) noexcept {
+  switch (kind) {
+    case TaskKind::kConcatenateAtmosphericInputFiles: return "caif";
+    case TaskKind::kModifyParameters: return "mp";
+    case TaskKind::kProcessCoupledRun: return "pcr";
+    case TaskKind::kConvertOutputFormat: return "cof";
+    case TaskKind::kExtractMinimumInformation: return "emi";
+    case TaskKind::kCompressDiags: return "cd";
+    case TaskKind::kFusedMain: return "main";
+    case TaskKind::kFusedPost: return "post";
+  }
+  return "?";
+}
+
+std::string_view long_name(TaskKind kind) noexcept {
+  switch (kind) {
+    case TaskKind::kConcatenateAtmosphericInputFiles:
+      return "concatenate_atmospheric_input_files";
+    case TaskKind::kModifyParameters: return "modify_parameters";
+    case TaskKind::kProcessCoupledRun: return "process_coupled_run";
+    case TaskKind::kConvertOutputFormat: return "convert_output_format";
+    case TaskKind::kExtractMinimumInformation:
+      return "extract_minimum_information";
+    case TaskKind::kCompressDiags: return "compress_diags";
+    case TaskKind::kFusedMain: return "fused_main_processing";
+    case TaskKind::kFusedPost: return "fused_post_processing";
+  }
+  return "?";
+}
+
+Seconds reference_duration(TaskKind kind) noexcept {
+  switch (kind) {
+    case TaskKind::kConcatenateAtmosphericInputFiles: return 1.0;
+    case TaskKind::kModifyParameters: return 1.0;
+    case TaskKind::kProcessCoupledRun: return 1260.0;
+    case TaskKind::kConvertOutputFormat: return 60.0;
+    case TaskKind::kExtractMinimumInformation: return 60.0;
+    case TaskKind::kCompressDiags: return 60.0;
+    case TaskKind::kFusedMain: return 1262.0;  // caif + mp + pcr
+    case TaskKind::kFusedPost: return 180.0;   // cof + emi + cd
+  }
+  return 0.0;
+}
+
+bool is_moldable(TaskKind kind) noexcept {
+  return kind == TaskKind::kProcessCoupledRun || kind == TaskKind::kFusedMain;
+}
+
+}  // namespace oagrid::appmodel

@@ -1,0 +1,48 @@
+#pragma once
+/// \file tasks.hpp
+/// \brief The seven concrete task kinds of the Ocean-Atmosphere application
+/// with the paper's benchmarked durations (Figure 1).
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace oagrid::appmodel {
+
+/// Task kinds of one monthly simulation, plus the two fused kinds of the
+/// simplified model (paper §4.1 / Figure 2).
+enum class TaskKind {
+  // pre-processing
+  kConcatenateAtmosphericInputFiles,  ///< caif, 1 s
+  kModifyParameters,                  ///< mp, 1 s
+  // main-processing
+  kProcessCoupledRun,                 ///< pcr, ~1260 s, moldable on [4, 11]
+  // post-processing
+  kConvertOutputFormat,               ///< cof, 60 s
+  kExtractMinimumInformation,         ///< emi, 60 s
+  kCompressDiags,                     ///< cd, 60 s
+  // fused model
+  kFusedMain,                         ///< caif + mp + pcr
+  kFusedPost,                         ///< cof + emi + cd
+};
+
+/// Short name used in the paper's figures ("caif", "mp", "pcr", ...).
+[[nodiscard]] std::string_view short_name(TaskKind kind) noexcept;
+
+/// Full underscore name from §2 ("process_coupled_run", ...).
+[[nodiscard]] std::string_view long_name(TaskKind kind) noexcept;
+
+/// Benchmarked duration on the reference platform (Figure 1). For the
+/// moldable kinds (pcr, fused main) this is the duration at the paper's
+/// quoted operating point (~1260 s); platform tables refine it per group
+/// size.
+[[nodiscard]] Seconds reference_duration(TaskKind kind) noexcept;
+
+/// True for the kinds whose processor allotment is chosen by the scheduler.
+[[nodiscard]] bool is_moldable(TaskKind kind) noexcept;
+
+/// Restart-state volume exchanged between two consecutive months of the same
+/// scenario (paper §2: "Data exchanges ... reaches 120 MB").
+inline constexpr double kInterMonthDataMb = 120.0;
+
+}  // namespace oagrid::appmodel

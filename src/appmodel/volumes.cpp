@@ -1,0 +1,23 @@
+#include "appmodel/volumes.hpp"
+
+namespace oagrid::appmodel {
+
+CampaignVolumes campaign_volumes(const Ensemble& ensemble,
+                                 const VolumeParams& params) {
+  ensemble.validate();
+  OAGRID_REQUIRE(params.restart_mb >= 0.0 && params.raw_diag_mb >= 0.0,
+                 "volumes must be >= 0");
+  OAGRID_REQUIRE(params.compression_ratio >= 1.0,
+                 "compression cannot inflate");
+  const auto scenarios = static_cast<double>(ensemble.scenarios);
+  const auto months = static_cast<double>(ensemble.months);
+
+  CampaignVolumes volumes;
+  volumes.restart_transfer_mb = scenarios * (months - 1.0) * params.restart_mb;
+  volumes.raw_diag_mb = scenarios * months * params.raw_diag_mb;
+  volumes.compressed_diag_mb = volumes.raw_diag_mb / params.compression_ratio;
+  volumes.archived_mb = volumes.compressed_diag_mb + scenarios * params.restart_mb;
+  return volumes;
+}
+
+}  // namespace oagrid::appmodel

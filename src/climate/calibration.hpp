@@ -1,0 +1,39 @@
+#pragma once
+/// \file calibration.hpp
+/// \brief Benchmarks the real pipeline on the current machine and emits the
+/// cluster description the scheduler consumes — the exact workflow of the
+/// paper's authors ("The times have been obtained by performing
+/// benchmarks", §2): measure pcr at every admissible parallelism, measure
+/// the post chain, write the T[G] table.
+
+#include "climate/model.hpp"
+#include "platform/cluster.hpp"
+
+namespace oagrid::climate {
+
+struct CalibrationResult {
+  /// Measured wall-clock of one model month for G in [4, 11] (atmosphere
+  /// threads = G - 3, the three pinned sequential components contributing
+  /// their serial share).
+  std::vector<Seconds> main_times;
+  /// Measured wall-clock of cof + emi + cd on one month's diagnostics.
+  Seconds post_time = 0.0;
+
+  /// Packages the measurements as a scheduler-ready cluster.
+  [[nodiscard]] platform::Cluster to_cluster(std::string name,
+                                             ProcCount resources) const;
+};
+
+/// Times `repetitions` months per thread count and returns the median-free
+/// simple averages. Wall-clock based: results vary with machine load; use
+/// for demonstration, not assertions.
+[[nodiscard]] CalibrationResult calibrate_pipeline(const ModelParams& params,
+                                                   int repetitions = 3);
+
+/// A grid heavy enough that per-substep stencil work dominates the pool
+/// handshake, so the measured T[G] table actually decreases with G (the
+/// default 24x48 grid is overhead-bound and would measure negative
+/// speedups).
+[[nodiscard]] ModelParams calibration_grade_params();
+
+}  // namespace oagrid::climate

@@ -1,0 +1,82 @@
+#include "climate/compress.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oagrid::climate {
+namespace {
+
+constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::vector<std::uint8_t>& in,
+                         std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos >= in.size())
+      throw std::invalid_argument("oagrid: truncated varint in payload");
+    const std::uint8_t byte = in[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63)
+      throw std::invalid_argument("oagrid: varint overflow in payload");
+  }
+}
+
+}  // namespace
+
+CompressedField compress_field(const Field& field, double quantum) {
+  OAGRID_REQUIRE(quantum > 0.0, "quantum must be positive");
+  CompressedField out;
+  out.nlat = field.nlat();
+  out.nlon = field.nlon();
+  out.quantum = quantum;
+  out.payload.reserve(field.size());
+
+  std::int64_t previous = 0;
+  for (const double value : field.data()) {
+    const auto quantized = static_cast<std::int64_t>(std::llround(value / quantum));
+    put_varint(out.payload, zigzag(quantized - previous));
+    previous = quantized;
+  }
+  return out;
+}
+
+Field decompress_field(const CompressedField& compressed) {
+  OAGRID_REQUIRE(compressed.quantum > 0.0, "quantum must be positive");
+  Field field(compressed.nlat, compressed.nlon);
+  std::size_t pos = 0;
+  std::int64_t previous = 0;
+  for (double& value : field.data()) {
+    previous += unzigzag(get_varint(compressed.payload, pos));
+    value = static_cast<double>(previous) * compressed.quantum;
+  }
+  if (pos != compressed.payload.size())
+    throw std::invalid_argument("oagrid: trailing bytes in compressed payload");
+  return field;
+}
+
+double compression_ratio(const Field& field,
+                         const CompressedField& compressed) {
+  return static_cast<double>(field.size() * sizeof(double)) /
+         static_cast<double>(compressed.byte_size());
+}
+
+}  // namespace oagrid::climate

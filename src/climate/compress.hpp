@@ -1,0 +1,42 @@
+#pragma once
+/// \file compress.hpp
+/// \brief `compress_diags`: "the volume of model diagnostic files is
+/// drastically reduced to facilitate storage and transfers" (paper §2).
+///
+/// Climate fields are spatially smooth, so the codec is quantize ->
+/// horizontal delta -> zigzag -> LEB128 varint: smooth fields produce tiny
+/// deltas that fit in one byte. Lossy only up to the declared quantum
+/// (default 1 mK); decompression reproduces the quantized values exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include "climate/field.hpp"
+
+namespace oagrid::climate {
+
+struct CompressedField {
+  int nlat = 0;
+  int nlon = 0;
+  double quantum = 0.0;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return payload.size() + 3 * sizeof(std::int32_t) + sizeof(double);
+  }
+};
+
+/// Compresses with the given quantum (maximum absolute reconstruction
+/// error is quantum / 2). Throws on non-positive quantum.
+[[nodiscard]] CompressedField compress_field(const Field& field,
+                                             double quantum = 1e-3);
+
+/// Exact inverse on the quantized lattice. Throws std::invalid_argument on a
+/// corrupt payload (truncated varint, wrong element count).
+[[nodiscard]] Field decompress_field(const CompressedField& compressed);
+
+/// Convenience: compression ratio (raw float64 bytes / compressed bytes).
+[[nodiscard]] double compression_ratio(const Field& field,
+                                       const CompressedField& compressed);
+
+}  // namespace oagrid::climate

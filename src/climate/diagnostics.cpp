@@ -1,0 +1,89 @@
+#include "climate/diagnostics.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace oagrid::climate {
+namespace {
+
+constexpr char kMagic[4] = {'O', 'A', 'S', 'F'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::invalid_argument("oagrid: truncated OASF stream");
+  return value;
+}
+
+}  // namespace
+
+void write_oasf(std::ostream& out, const DiagnosticRecord& record) {
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  const auto name_len = static_cast<std::uint32_t>(record.name.size());
+  write_pod(out, name_len);
+  out.write(record.name.data(), static_cast<std::streamsize>(name_len));
+  write_pod(out, static_cast<std::int32_t>(record.month));
+  write_pod(out, static_cast<std::int32_t>(record.field.nlat()));
+  write_pod(out, static_cast<std::int32_t>(record.field.nlon()));
+  out.write(reinterpret_cast<const char*>(record.field.data().data()),
+            static_cast<std::streamsize>(record.field.size() * sizeof(double)));
+  if (!out) throw std::runtime_error("oagrid: OASF write failed");
+}
+
+DiagnosticRecord read_oasf(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::invalid_argument("oagrid: not an OASF stream (bad magic)");
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion)
+    throw std::invalid_argument("oagrid: unsupported OASF version " +
+                                std::to_string(version));
+  const auto name_len = read_pod<std::uint32_t>(in);
+  if (name_len > 4096)
+    throw std::invalid_argument("oagrid: implausible OASF name length");
+  std::string name(name_len, '\0');
+  in.read(name.data(), static_cast<std::streamsize>(name_len));
+  const auto month = read_pod<std::int32_t>(in);
+  const auto nlat = read_pod<std::int32_t>(in);
+  const auto nlon = read_pod<std::int32_t>(in);
+  if (nlat < 2 || nlon < 4 || nlat > 100000 || nlon > 100000)
+    throw std::invalid_argument("oagrid: implausible OASF dimensions");
+
+  DiagnosticRecord record;
+  record.name = std::move(name);
+  record.month = month;
+  record.field = Field(nlat, nlon);
+  in.read(reinterpret_cast<char*>(record.field.data().data()),
+          static_cast<std::streamsize>(record.field.size() * sizeof(double)));
+  if (!in) throw std::invalid_argument("oagrid: truncated OASF payload");
+  return record;
+}
+
+std::size_t oasf_size(const DiagnosticRecord& record) {
+  return sizeof kMagic + sizeof kVersion + sizeof(std::uint32_t) +
+         record.name.size() + 3 * sizeof(std::int32_t) +
+         record.field.size() * sizeof(double);
+}
+
+ExtractedInfo extract_minimum_information(const DiagnosticRecord& record,
+                                          const std::vector<Region>& regions) {
+  ExtractedInfo info;
+  info.month = record.month;
+  info.means.reserve(regions.size());
+  for (const Region& region : regions)
+    info.means.emplace_back(region.name, record.field.regional_mean(region));
+  return info;
+}
+
+}  // namespace oagrid::climate

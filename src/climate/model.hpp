@@ -1,0 +1,114 @@
+#pragma once
+/// \file model.hpp
+/// \brief The coupled ocean-atmosphere integrator standing in for
+/// ARPEGE + OPA/NEMO + TRIP + OASIS (`process_coupled_run`).
+///
+/// A two-layer energy-balance model on the sphere — the classic
+/// Budyko/Sellers family, which is the standard laptop-scale surrogate for a
+/// GCM: it has the pieces whose *interaction* the paper's application is
+/// about (a parallelizable atmosphere stencil, a slow ocean, an ice-albedo
+/// feedback, greenhouse forcing, and a cloud-feedback parameter that
+/// controls climate sensitivity — the knob the paper's ensemble varies).
+///
+///   C_a dTa/dt = Q(lat) * (1 - albedo(To)) - B * (Ta - Tmean)
+///                - B_eff * (Tmean - Tref) + k_ex (To - Ta)
+///                + D_a lap(Ta) + F_ghg
+///   C_o dTo/dt = k_ex (Ta - To) + D_o lap(To)
+///   B_eff      = B - cloud_feedback
+///
+/// Zonal deviations are damped at the full coefficient B (the meridional
+/// structure — and hence the ice line — is parametrization-independent),
+/// while the *global-mean* anomaly is damped at B_eff: the cloud feedback
+/// acts on the planetary energy balance, so equilibrium warming under a
+/// forcing F is F / B_eff. That is exactly the paper's ensemble premise —
+/// same present climate, different sensitivity per cloud parametrization.
+///
+/// Temperatures in degrees Celsius; one step() integrates one month in
+/// `substeps` explicit-Euler substeps. The atmosphere stencil update is the
+/// parallel part (rows fan out over threads), mirroring ARPEGE being the
+/// only MPI-parallel component of the real coupled model.
+
+#include <cstdint>
+#include <memory>
+
+#include "climate/field.hpp"
+#include "common/thread_pool.hpp"
+
+namespace oagrid::climate {
+
+/// Physical parameters. Defaults give a ~14 C preindustrial global mean and
+/// a plausible warming response; the ensemble varies cloud_feedback.
+struct ModelParams {
+  int nlat = 24;
+  int nlon = 48;
+  int substeps = 30;            ///< explicit substeps per month (~1/day)
+  double solar = 340.0;         ///< W/m^2, global-mean insolation
+  double olr_a = 202.0;         ///< W/m^2 (A in A + B T)
+  double olr_b = 1.9;           ///< W/m^2/C
+  double cloud_feedback = 0.0;  ///< W/m^2/C subtracted from olr_b
+  double exchange = 0.7;        ///< W/m^2/C air-sea coupling
+  /// Diffusion coefficients, calibrated at the 24x48 reference resolution;
+  /// the stencil coefficient scales with (nlat/24)^2 so physics is
+  /// grid-independent.
+  double atm_diffusion = 0.55;
+  double ocn_diffusion = 0.12;
+  double atm_heat_capacity = 0.3;  ///< months to relax (small = fast)
+  /// Ocean mixed-layer capacity: relaxation ~ 35 months — slow enough to lag
+  /// the atmosphere visibly, fast enough that century runs equilibrate.
+  double ocn_heat_capacity = 2.5;
+  double ice_albedo = 0.25;         ///< extra albedo where the ocean freezes
+  double ice_threshold = -2.0;      ///< C
+  double ghg_forcing = 0.0;         ///< W/m^2, set per month by the scenario
+  /// Seasonal cycle: hemisphere-antisymmetric insolation modulation with a
+  /// 12-month period, sin(lat) * amplitude * cos(2*pi*(month - peak)/12).
+  /// Zero disables it (annual-mean climate, the configuration the scheduling
+  /// analysis uses); ~0.3 gives realistic mid-latitude summer/winter swings.
+  double seasonal_amplitude = 0.0;
+  int seasonal_peak_month = 6;  ///< northern-summer solstice position
+};
+
+/// Monthly diagnostics emitted by one step (consumed by the post-processing
+/// pipeline).
+struct MonthlyState {
+  int month = 0;
+  double global_mean_atm = 0.0;
+  double global_mean_ocn = 0.0;
+  double ice_fraction = 0.0;  ///< fraction of ocean cells below freezing
+};
+
+class CoupledModel {
+ public:
+  explicit CoupledModel(ModelParams params);
+
+  [[nodiscard]] const ModelParams& params() const noexcept { return params_; }
+  [[nodiscard]] const Field& atmosphere() const noexcept { return atm_; }
+  [[nodiscard]] const Field& ocean() const noexcept { return ocn_; }
+  [[nodiscard]] Field& atmosphere() noexcept { return atm_; }
+  [[nodiscard]] Field& ocean() noexcept { return ocn_; }
+  [[nodiscard]] int month() const noexcept { return month_; }
+
+  /// Sets the greenhouse forcing for subsequent months (the 21st-century
+  /// ramp of the paper's scenarios).
+  void set_ghg_forcing(double wm2) noexcept { params_.ghg_forcing = wm2; }
+
+  /// Integrates one month; `threads` > 1 parallelizes the atmosphere stencil
+  /// rows (the ARPEGE analogue). Results are thread-count independent.
+  MonthlyState step(std::size_t threads = 1);
+
+  /// Restores the month counter when resuming from a restart file (the
+  /// fields are restored separately through the mutable accessors).
+  void restore_month(int month) noexcept { month_ = month; }
+
+ private:
+  ModelParams params_;
+  Field atm_;
+  Field ocn_;
+  Field lap_atm_;
+  Field lap_ocn_;
+  int month_ = 0;
+  /// Persistent workers reused across the month's substeps (spawning per
+  /// substep would dwarf the stencil work); sized lazily to threads - 1.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace oagrid::climate

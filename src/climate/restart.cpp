@@ -1,0 +1,68 @@
+#include "climate/restart.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace oagrid::climate {
+namespace {
+
+constexpr char kMagic[4] = {'O', 'A', 'R', 'S'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::invalid_argument("oagrid: truncated restart stream");
+  return value;
+}
+
+void write_field(std::ostream& out, const Field& field) {
+  out.write(reinterpret_cast<const char*>(field.data().data()),
+            static_cast<std::streamsize>(field.size() * sizeof(double)));
+}
+
+void read_field(std::istream& in, Field& field) {
+  in.read(reinterpret_cast<char*>(field.data().data()),
+          static_cast<std::streamsize>(field.size() * sizeof(double)));
+  if (!in) throw std::invalid_argument("oagrid: truncated restart payload");
+}
+
+}  // namespace
+
+void write_restart(std::ostream& out, const CoupledModel& model) {
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, model.params());
+  write_pod(out, static_cast<std::int32_t>(model.month()));
+  write_field(out, model.atmosphere());
+  write_field(out, model.ocean());
+  if (!out) throw std::runtime_error("oagrid: restart write failed");
+}
+
+CoupledModel read_restart(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::invalid_argument("oagrid: not a restart stream (bad magic)");
+  const auto params = read_pod<ModelParams>(in);
+  const auto month = read_pod<std::int32_t>(in);
+  CoupledModel model(params);
+  read_field(in, model.atmosphere());
+  read_field(in, model.ocean());
+  model.restore_month(month);
+  return model;
+}
+
+std::size_t restart_size(const ModelParams& params) {
+  return sizeof kMagic + sizeof(ModelParams) + sizeof(std::int32_t) +
+         2 * static_cast<std::size_t>(params.nlat) *
+             static_cast<std::size_t>(params.nlon) * sizeof(double);
+}
+
+}  // namespace oagrid::climate

@@ -1,0 +1,25 @@
+#pragma once
+/// \file restart.hpp
+/// \brief Restart state: "The results from the nth monthly simulation are
+/// the starting point of the (n+1)th" (paper §2) — the 120 MB inter-month
+/// exchange, scaled to the toy model.
+
+#include <iosfwd>
+
+#include "climate/model.hpp"
+
+namespace oagrid::climate {
+
+/// Serializes the full model state (both fields, month counter, the
+/// parameters needed to resume bit-identically).
+void write_restart(std::ostream& out, const CoupledModel& model);
+
+/// Reconstructs a model from a restart stream; throws std::invalid_argument
+/// on malformed input. The returned model continues exactly where the
+/// written one stopped.
+[[nodiscard]] CoupledModel read_restart(std::istream& in);
+
+/// Restart size in bytes for a given grid (what the 120 MB corresponds to).
+[[nodiscard]] std::size_t restart_size(const ModelParams& params);
+
+}  // namespace oagrid::climate

@@ -1,0 +1,44 @@
+#pragma once
+/// \file scenario_runner.hpp
+/// \brief Runs one full scenario through the *real* pipeline — the paper's
+/// §2 experiment, executed rather than just scheduled: every month is
+/// pre-processing, a coupled-model integration, format conversion, regional
+/// extraction, and compression, chained by restart state.
+
+#include <vector>
+
+#include "climate/compress.hpp"
+#include "climate/diagnostics.hpp"
+#include "climate/model.hpp"
+
+namespace oagrid::climate {
+
+struct ScenarioConfig {
+  ModelParams model;        ///< includes the ensemble's cloud_feedback knob
+  int months = 24;          ///< the paper runs 1800 (150 years)
+  double ghg_ramp = 0.02;   ///< W/m^2 added per month (the 21st-century ramp)
+  std::size_t threads = 1;  ///< atmosphere parallelism
+  bool verify_restart = false;  ///< exercise a restart round-trip mid-run
+};
+
+struct ScenarioResult {
+  std::vector<MonthlyState> states;          ///< one per month
+  std::vector<ExtractedInfo> extracted;      ///< emi output per month
+  double warming = 0.0;  ///< last-year minus first-year global mean [C]
+  std::size_t raw_diag_bytes = 0;         ///< cof output volume
+  std::size_t compressed_diag_bytes = 0;  ///< cd output volume
+  std::size_t restart_bytes_per_month = 0;
+};
+
+/// Runs the scenario to completion. Throws on invalid config.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// Climate sensitivity proxy of a parametrization, computed the way
+/// climatologists do: a forced (ramped) run minus a control (no-forcing)
+/// run with identical parameters, compared over the final year. Subtracting
+/// the control cancels any residual spin-up drift, isolating the greenhouse
+/// response the paper's ensemble studies.
+[[nodiscard]] double warming_of(double cloud_feedback, int months,
+                                std::size_t threads = 1);
+
+}  // namespace oagrid::climate

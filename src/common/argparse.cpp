@@ -1,0 +1,143 @@
+#include "common/argparse.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace oagrid {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::add_flag(const std::string& name, std::string help) {
+  OAGRID_REQUIRE(find(name) == nullptr, "duplicate option declaration");
+  options_.emplace_back(name, Spec{std::move(help), true, ""});
+  flags_[name] = false;
+  return *this;
+}
+
+ArgParser& ArgParser::add_option(const std::string& name, std::string help,
+                                 std::string default_value) {
+  OAGRID_REQUIRE(find(name) == nullptr, "duplicate option declaration");
+  values_[name] = default_value;
+  options_.emplace_back(name, Spec{std::move(help), false,
+                                   std::move(default_value)});
+  return *this;
+}
+
+ArgParser& ArgParser::add_positional(const std::string& name,
+                                     std::string help) {
+  positionals_.emplace_back(name, std::move(help));
+  return *this;
+}
+
+const ArgParser::Spec* ArgParser::find(const std::string& name) const {
+  for (const auto& [opt_name, spec] : options_)
+    if (opt_name == name) return &spec;
+  return nullptr;
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  std::size_t next_positional = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string name = arg.substr(2);
+      std::optional<std::string> inline_value;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name.resize(eq);
+      }
+      // Built-in: --help surfaces the usage text through the error channel.
+      if (name == "help") throw std::invalid_argument(usage());
+      const Spec* spec = find(name);
+      if (spec == nullptr)
+        throw std::invalid_argument("unknown option --" + name + "\n" + usage());
+      if (spec->is_flag) {
+        if (inline_value)
+          throw std::invalid_argument("flag --" + name + " takes no value");
+        flags_[name] = true;
+      } else if (inline_value) {
+        values_[name] = *inline_value;
+      } else {
+        if (i + 1 >= args.size())
+          throw std::invalid_argument("option --" + name + " needs a value\n" +
+                                      usage());
+        values_[name] = args[++i];
+      }
+    } else {
+      if (next_positional >= positionals_.size())
+        throw std::invalid_argument("unexpected argument '" + arg + "'\n" +
+                                    usage());
+      values_[positionals_[next_positional++].first] = arg;
+    }
+  }
+  if (next_positional < positionals_.size())
+    throw std::invalid_argument(
+        "missing required argument <" + positionals_[next_positional].first +
+        ">\n" + usage());
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  const auto it = flags_.find(name);
+  OAGRID_REQUIRE(it != flags_.end(), "undeclared flag queried");
+  return it->second;
+}
+
+const std::string& ArgParser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  OAGRID_REQUIRE(it != values_.end(), "undeclared option queried");
+  return it->second;
+}
+
+long long ArgParser::get_int(const std::string& name) const {
+  const std::string& text = get(name);
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" +
+                                text + "'");
+  }
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string& text = get(name);
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" +
+                                text + "'");
+  }
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_;
+  for (const auto& [name, help] : positionals_) out << " <" << name << ">";
+  if (!options_.empty()) out << " [options]";
+  out << "\n  " << description_ << "\n";
+  for (const auto& [name, help] : positionals_)
+    out << "  <" << name << ">  " << help << "\n";
+  for (const auto& [name, spec] : options_) {
+    out << "  --" << name;
+    if (!spec.is_flag) out << " <value>";
+    out << "  " << spec.help;
+    if (!spec.is_flag && !spec.default_value.empty())
+      out << " (default: " << spec.default_value << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace oagrid

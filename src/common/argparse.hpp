@@ -1,0 +1,59 @@
+#pragma once
+/// \file argparse.hpp
+/// \brief Minimal declarative command-line parsing for the CLI tool and the
+/// bench binaries (no external dependencies; GNU-style --name=value and
+/// --name value forms, boolean flags, typed getters with defaults).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace oagrid {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declares a boolean flag (--name). Returns *this for chaining.
+  ArgParser& add_flag(const std::string& name, std::string help);
+
+  /// Declares a valued option (--name value | --name=value) with a default.
+  ArgParser& add_option(const std::string& name, std::string help,
+                        std::string default_value);
+
+  /// Declares the next positional argument (required in order).
+  ArgParser& add_positional(const std::string& name, std::string help);
+
+  /// Parses argv[1..). Throws std::invalid_argument with a usage-bearing
+  /// message on unknown options, missing values or missing positionals.
+  void parse(int argc, const char* const* argv);
+  void parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::string default_value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Spec>> options_;  // declaration order
+  std::vector<std::pair<std::string, std::string>> positionals_;  // name,help
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+
+  [[nodiscard]] const Spec* find(const std::string& name) const;
+};
+
+}  // namespace oagrid

@@ -1,0 +1,92 @@
+#include "common/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace oagrid {
+
+AsciiChart::AsciiChart(int width, int height) : width_(width), height_(height) {
+  if (width < 16 || height < 4)
+    throw std::invalid_argument("chart too small to be legible");
+}
+
+void AsciiChart::add_series(ChartSeries series) {
+  if (series.xs.size() != series.ys.size())
+    throw std::invalid_argument("series xs/ys length mismatch");
+  series_.push_back(std::move(series));
+}
+
+void AsciiChart::set_y_range(double lo, double hi) {
+  if (!(lo < hi)) throw std::invalid_argument("empty y range");
+  fixed_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string AsciiChart::render() const {
+  double xlo = 0, xhi = 1, ylo = y_lo_, yhi = y_hi_;
+  bool any = false;
+  for (const auto& s : series_)
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!any) {
+        xlo = xhi = s.xs[i];
+        if (!fixed_range_) ylo = yhi = s.ys[i];
+        any = true;
+      } else {
+        xlo = std::min(xlo, s.xs[i]);
+        xhi = std::max(xhi, s.xs[i]);
+        if (!fixed_range_) {
+          ylo = std::min(ylo, s.ys[i]);
+          yhi = std::max(yhi, s.ys[i]);
+        }
+      }
+    }
+  if (!any) return "(empty chart)\n";
+  if (xhi == xlo) xhi = xlo + 1;
+  if (yhi == ylo) yhi = ylo + 1;
+  if (!fixed_range_) {
+    const double margin = 0.05 * (yhi - ylo);
+    ylo -= margin;
+    yhi += margin;
+  }
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx = (s.xs[i] - xlo) / (xhi - xlo);
+      const double fy = (s.ys[i] - ylo) / (yhi - ylo);
+      const int cx = static_cast<int>(std::lround(fx * (width_ - 1)));
+      const int cy = static_cast<int>(std::lround(fy * (height_ - 1)));
+      if (cx < 0 || cx >= width_ || cy < 0 || cy >= height_) continue;
+      grid[static_cast<std::size_t>(height_ - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = s.glyph;
+    }
+  }
+
+  std::string out;
+  char label[32];
+  for (int row = 0; row < height_; ++row) {
+    const double y = yhi - (yhi - ylo) * row / (height_ - 1);
+    std::snprintf(label, sizeof label, "%10.2f |", y);
+    out += label;
+    out += grid[static_cast<std::size_t>(row)];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(static_cast<std::size_t>(width_), '-') + '\n';
+  std::snprintf(label, sizeof label, "%.1f", xlo);
+  std::string xaxis = std::string(12, ' ') + label;
+  std::snprintf(label, sizeof label, "%.1f", xhi);
+  const std::string right = label;
+  const std::size_t pad_to = 12 + static_cast<std::size_t>(width_) - right.size();
+  if (xaxis.size() < pad_to) xaxis += std::string(pad_to - xaxis.size(), ' ');
+  xaxis += right;
+  out += xaxis + '\n';
+  for (const auto& s : series_)
+    out += std::string("  ") + s.glyph + " = " + s.name + '\n';
+  return out;
+}
+
+}  // namespace oagrid

@@ -1,0 +1,43 @@
+#pragma once
+/// \file ascii_chart.hpp
+/// \brief Terminal line charts so each bench can render the *shape* of the
+/// figure it reproduces (Figures 7, 8 and 10 of the paper) directly in its
+/// output, next to the numeric rows.
+
+#include <string>
+#include <vector>
+
+namespace oagrid {
+
+/// One plotted series: (x, y) points plus the glyph used to mark them.
+struct ChartSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Renders one or more series into a character grid with y-axis labels and an
+/// x-axis rule. Later series overwrite earlier ones where cells collide.
+class AsciiChart {
+ public:
+  AsciiChart(int width, int height);
+
+  void add_series(ChartSeries series);
+
+  /// Optional fixed y-range; by default the range is fit to the data with a
+  /// small margin.
+  void set_y_range(double lo, double hi);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  int width_;
+  int height_;
+  bool fixed_range_ = false;
+  double y_lo_ = 0.0;
+  double y_hi_ = 1.0;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace oagrid

@@ -1,0 +1,50 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger.
+///
+/// Library code must never write to stdout (bench output is the artifact), so
+/// diagnostics go through this sink, which defaults to stderr and is
+/// silenceable in tests. Thread-safe: the middleware logs from worker threads.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace oagrid {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped before formatting.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line ("[level] message") to stderr under a global mutex.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// RAII one-line builder: `Logger(kInfo).stream() << "x=" << x;` emits on
+/// destruction.
+class Logger {
+ public:
+  explicit Logger(LogLevel level) : level_(level) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+  ~Logger() { log_line(level_, stream_.str()); }
+  [[nodiscard]] std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define OAGRID_LOG(level)                                   \
+  if (::oagrid::log_level() <= (level))                     \
+  ::oagrid::detail::Logger(level).stream()
+
+#define OAGRID_DEBUG OAGRID_LOG(::oagrid::LogLevel::kDebug)
+#define OAGRID_INFO OAGRID_LOG(::oagrid::LogLevel::kInfo)
+#define OAGRID_WARN OAGRID_LOG(::oagrid::LogLevel::kWarn)
+#define OAGRID_ERROR OAGRID_LOG(::oagrid::LogLevel::kError)
+
+}  // namespace oagrid

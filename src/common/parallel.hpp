@@ -1,0 +1,29 @@
+#pragma once
+/// \file parallel.hpp
+/// \brief Fork-join helpers for embarrassingly parallel parameter sweeps.
+///
+/// The reproduction benches sweep thousands of (R, NS, cluster) cells; each
+/// cell is independent, so a static block decomposition over a small thread
+/// pool is the right tool (no work stealing needed — cells are near-uniform
+/// cost). Exceptions thrown by a cell are captured and rethrown on the
+/// calling thread, first-come wins.
+
+#include <cstddef>
+#include <functional>
+
+namespace oagrid {
+
+/// Number of workers parallel_for will use by default (hardware concurrency,
+/// at least 1).
+[[nodiscard]] std::size_t default_parallelism() noexcept;
+
+/// Runs body(i) for every i in [begin, end) across `threads` workers
+/// (0 = default_parallelism()). Blocks until all iterations finish. The body
+/// must be safe to call concurrently for distinct i. Falls back to a plain
+/// loop when the range is tiny or threads == 1 to keep tests deterministic
+/// in single-thread configurations.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace oagrid

@@ -1,0 +1,81 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace oagrid {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// SplitMix64 step — used only for seeding and stream splitting.
+constexpr std::uint64_t splitmix64(std::uint64_t& s) noexcept {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0,1) with full mantissa resolution.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+long long Rng::uniform_int(long long lo, long long hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Unbiased rejection sampling (Lemire-style threshold).
+  const std::uint64_t threshold = (0 - span) % span;
+  for (;;) {
+    const std::uint64_t draw = (*this)();
+    if (draw >= threshold) return lo + static_cast<long long>(draw % span);
+  }
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller; u1 is kept away from zero to avoid log(0).
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::split() noexcept {
+  std::uint64_t derived = (*this)();
+  return Rng(splitmix64(derived));
+}
+
+void Rng::shuffle(std::vector<int>& values) noexcept {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const auto j =
+        static_cast<std::size_t>(uniform_int(0, static_cast<long long>(i) - 1));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace oagrid

@@ -1,0 +1,49 @@
+#pragma once
+/// \file table.hpp
+/// \brief Fixed-width console tables and CSV emission for bench output.
+///
+/// Every bench binary regenerates one of the paper's tables or figures; the
+/// rows it prints are the reproduction artifact, so formatting lives in one
+/// place. TableWriter renders aligned columns to any ostream; the same row
+/// data can be mirrored to CSV for plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace oagrid {
+
+/// Column-aligned text table. Usage:
+///   TableWriter t({"R", "best G", "makespan"});
+///   t.add_row({"53", "7", "1.21e6"});
+///   t.print(std::cout);
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and 2-space column gaps.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, embedded quotes doubled).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 2) without trailing
+/// stream-state surprises.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+/// Formats seconds as "Xd HH:MM:SS" for human-readable makespans (the paper
+/// talks about 58-hour gains; raw seconds are unreadable at that scale).
+[[nodiscard]] std::string fmt_duration(double seconds);
+
+}  // namespace oagrid

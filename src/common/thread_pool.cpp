@@ -1,0 +1,84 @@
+#include "common/thread_pool.hpp"
+
+namespace oagrid {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    ++observed_;
+    ++active_workers_;
+    lock.unlock();
+    run_chunks();
+    lock.lock();
+    if (--active_workers_ == 0) work_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks() {
+  const auto* body = body_;
+  for (;;) {
+    const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= end_) return;
+    try {
+      (*body)(i);
+    } catch (...) {
+      const std::scoped_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  if (threads_.empty()) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  {
+    const std::scoped_lock lock(mutex_);
+    body_ = &body;
+    end_ = end;
+    cursor_.store(begin, std::memory_order_relaxed);
+    observed_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  run_chunks();  // the caller is the (W+1)-th worker
+
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [&] {
+    return observed_ == threads_.size() && active_workers_ == 0;
+  });
+  body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace oagrid

@@ -1,0 +1,74 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Persistent worker pool for fine-grained parallel regions.
+///
+/// common/parallel.hpp's parallel_for spawns threads per call, which is fine
+/// for coarse sweep cells (milliseconds each) but poisonous for the climate
+/// model's stencil substeps (tens of microseconds each — thread creation
+/// costs more than the work). ThreadPool keeps its workers alive between
+/// regions: dispatch is one mutex/condition-variable handshake, and the
+/// calling thread participates in the work, so a pool of W workers yields
+/// W+1-way parallelism.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oagrid {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` persistent worker threads (0 is valid: every region
+  /// runs entirely on the calling thread).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Joins all workers. Must not be called while a region is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Runs body(i) for every i in [begin, end) across the workers plus the
+  /// calling thread; returns when all iterations finished. Iterations are
+  /// claimed through a shared cursor (dynamic schedule). Exceptions from the
+  /// body are captured and the first one rethrown here. Not reentrant: one
+  /// region at a time per pool.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void run_chunks();
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+
+  // Current region. Published under mutex_ (generation bump is the release
+  // point); workers read after observing the new generation under the same
+  // mutex. The caller's final wait requires every worker to have both
+  // observed the region and left it before parallel_for returns, so body_
+  // never dangles.
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::atomic<std::size_t> cursor_{0};
+  std::size_t end_ = 0;
+  std::size_t observed_ = 0;        ///< workers that saw this generation
+  std::size_t active_workers_ = 0;  ///< workers inside the current region
+  std::exception_ptr first_error_;
+};
+
+}  // namespace oagrid

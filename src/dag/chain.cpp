@@ -1,0 +1,38 @@
+#include "dag/chain.hpp"
+
+namespace oagrid::dag {
+
+ChainedDag chain_of(const Dag& tmpl, int instances,
+                    const std::vector<CrossLink>& links) {
+  OAGRID_REQUIRE(tmpl.frozen(), "template DAG must be frozen");
+  OAGRID_REQUIRE(instances >= 1, "need at least one instance");
+  for (const auto& link : links) {
+    OAGRID_REQUIRE(link.from_prev >= 0 && link.from_prev < tmpl.node_count(),
+                   "cross-link source outside template");
+    OAGRID_REQUIRE(link.to_next >= 0 && link.to_next < tmpl.node_count(),
+                   "cross-link target outside template");
+  }
+
+  ChainedDag out;
+  out.instances = instances;
+  out.template_size = tmpl.node_count();
+
+  for (int m = 0; m < instances; ++m) {
+    for (NodeId v = 0; v < tmpl.node_count(); ++v) {
+      TaskSpec spec = tmpl.task(v);
+      spec.name += "#" + std::to_string(m);
+      out.graph.add_task(std::move(spec));
+    }
+  }
+  for (int m = 0; m < instances; ++m)
+    for (const auto& e : tmpl.edges())
+      out.graph.add_edge(out.at(m, e.from), out.at(m, e.to), e.data_mb);
+  for (int m = 0; m + 1 < instances; ++m)
+    for (const auto& link : links)
+      out.graph.add_edge(out.at(m, link.from_prev), out.at(m + 1, link.to_next),
+                         link.data_mb);
+  out.graph.freeze();
+  return out;
+}
+
+}  // namespace oagrid::dag

@@ -1,0 +1,54 @@
+#pragma once
+/// \file chain.hpp
+/// \brief Replication of a template DAG into a 1D chain ("1D-mesh of
+/// identical DAGs", the paper's experiment structure).
+///
+/// A scenario is the same monthly DAG stamped NM times, with cross-instance
+/// edges carrying the restart state: the paper's Figure 1 shows `pcr_n ->
+/// {caif, mp}_{n+1}` at 120 MB. chain_of() performs that stamping for any
+/// template and any set of cross links, which is exactly the "independent
+/// chains of identical DAGs composed of moldable tasks" generalization the
+/// paper lists as future work.
+
+#include <string>
+#include <vector>
+
+#include "dag/dag.hpp"
+
+namespace oagrid::dag {
+
+/// A dependency between consecutive instances of the template: node
+/// `from_prev` of instance m feeds node `to_next` of instance m+1.
+struct CrossLink {
+  NodeId from_prev = kInvalidNode;
+  NodeId to_next = kInvalidNode;
+  double data_mb = 0.0;
+};
+
+/// Result of stamping: the chained DAG plus the mapping from (instance,
+/// template-node) to the node id in the chained DAG.
+struct ChainedDag {
+  Dag graph;
+  int instances = 0;
+  int template_size = 0;
+
+  /// Node id of template node `node` in instance `instance`.
+  [[nodiscard]] NodeId at(int instance, NodeId node) const {
+    OAGRID_REQUIRE(instance >= 0 && instance < instances, "instance out of range");
+    OAGRID_REQUIRE(node >= 0 && node < template_size, "template node out of range");
+    return instance * template_size + node;
+  }
+  /// Inverse mapping.
+  [[nodiscard]] int instance_of(NodeId id) const { return id / template_size; }
+  [[nodiscard]] NodeId template_node_of(NodeId id) const {
+    return id % template_size;
+  }
+};
+
+/// Stamps `instances` copies of `tmpl` (which must be frozen) and links
+/// consecutive copies through `links`. Node names get a "#<instance>" suffix.
+/// The result is frozen.
+[[nodiscard]] ChainedDag chain_of(const Dag& tmpl, int instances,
+                                  const std::vector<CrossLink>& links);
+
+}  // namespace oagrid::dag

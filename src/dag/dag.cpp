@@ -1,0 +1,160 @@
+#include "dag/dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oagrid::dag {
+
+NodeId Dag::add_task(TaskSpec spec) {
+  OAGRID_REQUIRE(!frozen_, "cannot add tasks to a frozen DAG");
+  OAGRID_REQUIRE(spec.ref_duration >= 0.0, "task duration must be >= 0");
+  if (spec.shape == TaskShape::kRigid) {
+    OAGRID_REQUIRE(spec.procs >= 1, "rigid task width must be >= 1");
+  } else {
+    OAGRID_REQUIRE(spec.min_procs >= 1 && spec.min_procs <= spec.max_procs,
+                   "moldable range must satisfy 1 <= min <= max");
+  }
+  tasks_.push_back(std::move(spec));
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return static_cast<NodeId>(tasks_.size()) - 1;
+}
+
+void Dag::add_edge(NodeId from, NodeId to, double data_mb) {
+  OAGRID_REQUIRE(!frozen_, "cannot add edges to a frozen DAG");
+  require_node(from);
+  require_node(to);
+  OAGRID_REQUIRE(from != to, "self-loop edge");
+  OAGRID_REQUIRE(data_mb >= 0.0, "negative data volume");
+  const auto& out = succ_[static_cast<std::size_t>(from)];
+  OAGRID_REQUIRE(std::find(out.begin(), out.end(), to) == out.end(),
+                 "duplicate edge");
+  edges_.push_back(Edge{from, to, data_mb});
+  succ_[static_cast<std::size_t>(from)].push_back(to);
+  pred_[static_cast<std::size_t>(to)].push_back(from);
+}
+
+void Dag::freeze() {
+  OAGRID_REQUIRE(!frozen_, "DAG already frozen");
+  const auto n = static_cast<std::size_t>(node_count());
+  // Kahn's algorithm; also yields levels (longest hop distance from entries).
+  std::vector<int> indeg(n, 0);
+  for (const auto& e : edges_) ++indeg[static_cast<std::size_t>(e.to)];
+  topo_.clear();
+  topo_.reserve(n);
+  level_.assign(n, 0);
+  std::vector<NodeId> ready;
+  for (std::size_t v = 0; v < n; ++v)
+    if (indeg[v] == 0) ready.push_back(static_cast<NodeId>(v));
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const NodeId v = ready[head++];
+    topo_.push_back(v);
+    for (const NodeId w : succ_[static_cast<std::size_t>(v)]) {
+      level_[static_cast<std::size_t>(w)] =
+          std::max(level_[static_cast<std::size_t>(w)],
+                   level_[static_cast<std::size_t>(v)] + 1);
+      if (--indeg[static_cast<std::size_t>(w)] == 0) ready.push_back(w);
+    }
+  }
+  if (topo_.size() != n) {
+    // Name one node still holding in-degree: it participates in a cycle.
+    for (std::size_t v = 0; v < n; ++v)
+      if (indeg[v] > 0)
+        throw std::invalid_argument("oagrid: DAG has a cycle through task '" +
+                                    tasks_[v].name + "'");
+    throw std::invalid_argument("oagrid: DAG has a cycle");
+  }
+  frozen_ = true;
+}
+
+const TaskSpec& Dag::task(NodeId id) const {
+  require_node(id);
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+std::span<const NodeId> Dag::successors(NodeId id) const {
+  require_node(id);
+  return succ_[static_cast<std::size_t>(id)];
+}
+
+std::span<const NodeId> Dag::predecessors(NodeId id) const {
+  require_node(id);
+  return pred_[static_cast<std::size_t>(id)];
+}
+
+std::vector<NodeId> Dag::entry_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v)
+    if (pred_[static_cast<std::size_t>(v)].empty()) out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> Dag::exit_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v)
+    if (succ_[static_cast<std::size_t>(v)].empty()) out.push_back(v);
+  return out;
+}
+
+std::span<const NodeId> Dag::topological_order() const {
+  require_frozen("topological_order");
+  return topo_;
+}
+
+std::span<const int> Dag::levels() const {
+  require_frozen("levels");
+  return level_;
+}
+
+Seconds Dag::critical_path(
+    const std::function<Seconds(NodeId)>& duration) const {
+  require_frozen("critical_path");
+  std::vector<Seconds> finish(static_cast<std::size_t>(node_count()), 0.0);
+  Seconds best = 0.0;
+  for (const NodeId v : topo_) {
+    Seconds start = 0.0;
+    for (const NodeId p : pred_[static_cast<std::size_t>(v)])
+      start = std::max(start, finish[static_cast<std::size_t>(p)]);
+    finish[static_cast<std::size_t>(v)] = start + duration(v);
+    best = std::max(best, finish[static_cast<std::size_t>(v)]);
+  }
+  return best;
+}
+
+Seconds Dag::critical_path_ref() const {
+  return critical_path(
+      [this](NodeId id) { return tasks_[static_cast<std::size_t>(id)].ref_duration; });
+}
+
+double Dag::work_area(const std::function<Seconds(NodeId)>& duration,
+                      const std::function<ProcCount(NodeId)>& allotment) const {
+  double area = 0.0;
+  for (NodeId v = 0; v < node_count(); ++v)
+    area += duration(v) * static_cast<double>(allotment(v));
+  return area;
+}
+
+NodeId Dag::find_by_name(std::string_view name) const {
+  NodeId found = kInvalidNode;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (tasks_[static_cast<std::size_t>(v)].name == name) {
+      OAGRID_REQUIRE(found == kInvalidNode, "ambiguous task name lookup");
+      found = v;
+    }
+  }
+  return found;
+}
+
+void Dag::require_frozen(const char* what) const {
+  if (!frozen_)
+    throw std::logic_error(std::string("oagrid: Dag::") + what +
+                           " requires freeze() first");
+}
+
+void Dag::require_node(NodeId id) const {
+  if (id < 0 || id >= node_count())
+    throw std::out_of_range("oagrid: node id out of range");
+}
+
+}  // namespace oagrid::dag

@@ -1,0 +1,131 @@
+#pragma once
+/// \file dag.hpp
+/// \brief Generic workflow DAG with rigid and moldable tasks.
+///
+/// The paper models the application as "1D-meshes of identical DAGs composed
+/// of parallel tasks": each monthly simulation is a small DAG whose main task
+/// is *moldable* (it can run on any processor count in [min_procs,
+/// max_procs], with a platform-dependent execution time), and consecutive
+/// months are chained by restart-file dependencies. This module provides the
+/// DAG substrate those models are built on: construction, validation,
+/// topological order, level decomposition and critical-path analysis.
+///
+/// Execution times of moldable tasks are *not* stored here — they depend on
+/// the platform (see platform::Cluster). The DAG stores structure plus a
+/// nominal reference duration used for platform-independent analysis; all
+/// time-dependent queries accept a duration functor.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace oagrid::dag {
+
+/// Whether a task's processor allotment is fixed or chosen by the scheduler.
+enum class TaskShape {
+  kRigid,     ///< runs on exactly `procs` processors
+  kMoldable,  ///< scheduler picks an allotment in [min_procs, max_procs]
+};
+
+/// Node identifier within one Dag (dense, 0-based).
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Static description of one task.
+struct TaskSpec {
+  std::string name;                    ///< human-readable label ("pcr", ...)
+  TaskShape shape = TaskShape::kRigid;
+  Seconds ref_duration = 0.0;          ///< nominal duration (reference platform)
+  ProcCount procs = 1;                 ///< rigid width
+  ProcCount min_procs = 1;             ///< moldable lower bound
+  ProcCount max_procs = 1;             ///< moldable upper bound
+};
+
+/// A dependency edge, annotated with the data volume it transports (the
+/// paper's inter-month restart exchange is 120 MB).
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double data_mb = 0.0;
+};
+
+/// Immutable-after-build directed acyclic graph of tasks.
+///
+/// Build with add_task()/add_edge(), then call freeze(). freeze() validates
+/// (no dangling ids, no duplicate edges, acyclicity) and precomputes the
+/// topological order and level structure; queries before freeze() on those
+/// throw. A frozen Dag is cheap to copy.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Adds a node; returns its id. Throws if the spec is malformed (negative
+  /// duration, inverted moldable range, non-positive widths).
+  NodeId add_task(TaskSpec spec);
+
+  /// Adds a dependency edge from -> to. Throws on unknown ids, self-loops or
+  /// duplicate edges. Cycles are detected at freeze() time.
+  void add_edge(NodeId from, NodeId to, double data_mb = 0.0);
+
+  /// Validates and seals the graph. Throws std::invalid_argument naming the
+  /// first cycle-participating node if the graph is cyclic.
+  void freeze();
+
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(tasks_.size());
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const TaskSpec& task(NodeId id) const;
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+  [[nodiscard]] std::span<const NodeId> successors(NodeId id) const;
+  [[nodiscard]] std::span<const NodeId> predecessors(NodeId id) const;
+
+  /// Nodes with no predecessors / no successors (frozen only).
+  [[nodiscard]] std::vector<NodeId> entry_nodes() const;
+  [[nodiscard]] std::vector<NodeId> exit_nodes() const;
+
+  /// A valid topological order (frozen only).
+  [[nodiscard]] std::span<const NodeId> topological_order() const;
+
+  /// Level (longest path length in hops from any entry) per node.
+  [[nodiscard]] std::span<const int> levels() const;
+
+  /// Length of the longest path where each node costs duration(id). Edges
+  /// cost nothing (the paper folds data-access time into task durations,
+  /// §4.1). Frozen only.
+  [[nodiscard]] Seconds critical_path(
+      const std::function<Seconds(NodeId)>& duration) const;
+
+  /// Critical path using the nominal ref_duration of each task.
+  [[nodiscard]] Seconds critical_path_ref() const;
+
+  /// Sum over nodes of duration(id) * procs — the sequential "area" used by
+  /// CPA-style heuristics. Moldable tasks contribute with `allotment(id)`
+  /// processors.
+  [[nodiscard]] double work_area(
+      const std::function<Seconds(NodeId)>& duration,
+      const std::function<ProcCount(NodeId)>& allotment) const;
+
+  /// Node lookup by name; returns kInvalidNode if absent, throws if the name
+  /// is ambiguous.
+  [[nodiscard]] NodeId find_by_name(std::string_view name) const;
+
+ private:
+  void require_frozen(const char* what) const;
+  void require_node(NodeId id) const;
+
+  std::vector<TaskSpec> tasks_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::vector<NodeId> topo_;
+  std::vector<int> level_;
+  bool frozen_ = false;
+};
+
+}  // namespace oagrid::dag

@@ -1,0 +1,250 @@
+#include "knapsack/knapsack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace oagrid::knapsack {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Relative-epsilon comparison for objective values: 1/T sums are sums of a
+/// handful of doubles, so 1e-9 relative slack cleanly separates genuine ties
+/// from rounding noise.
+bool value_strictly_greater(double a, double b) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return a > b + 1e-9 * scale;
+}
+
+bool value_equal(double a, double b) {
+  return !value_strictly_greater(a, b) && !value_strictly_greater(b, a);
+}
+
+Solution make_solution(const Problem& problem, std::vector<Count> counts) {
+  Solution s;
+  s.counts = std::move(counts);
+  for (std::size_t i = 0; i < problem.items.size(); ++i) {
+    s.value += static_cast<double>(s.counts[i]) * problem.items[i].value;
+    s.weight_used += static_cast<int>(s.counts[i]) * problem.items[i].weight;
+    s.items_used += s.counts[i];
+  }
+  return s;
+}
+
+}  // namespace
+
+void validate(const Problem& problem) {
+  OAGRID_REQUIRE(!problem.items.empty(), "knapsack needs at least one item kind");
+  for (const Item& item : problem.items) {
+    OAGRID_REQUIRE(item.weight > 0, "item weights must be positive");
+    OAGRID_REQUIRE(item.value >= 0.0, "item values must be >= 0");
+  }
+  OAGRID_REQUIRE(problem.capacity >= 0, "capacity must be >= 0");
+  OAGRID_REQUIRE(problem.max_items >= 0, "cardinality cap must be >= 0");
+}
+
+bool is_feasible(const Problem& problem, const Solution& solution) {
+  if (solution.counts.size() != problem.items.size()) return false;
+  double value = 0.0;
+  long long weight = 0;
+  Count items = 0;
+  for (std::size_t i = 0; i < problem.items.size(); ++i) {
+    if (solution.counts[i] < 0) return false;
+    value += static_cast<double>(solution.counts[i]) * problem.items[i].value;
+    weight += solution.counts[i] * problem.items[i].weight;
+    items += solution.counts[i];
+  }
+  return weight <= problem.capacity && items <= problem.max_items &&
+         weight == solution.weight_used && items == solution.items_used &&
+         value_equal(value, solution.value);
+}
+
+bool better_solution(const Solution& a, const Solution& b) {
+  if (value_strictly_greater(a.value, b.value)) return true;
+  if (value_strictly_greater(b.value, a.value)) return false;
+  if (a.weight_used != b.weight_used) return a.weight_used < b.weight_used;
+  return a.items_used < b.items_used;
+}
+
+Solution solve_dp(const Problem& problem) {
+  validate(problem);
+  const auto n_items = problem.items.size();
+  const auto cap = static_cast<std::size_t>(problem.capacity);
+  // The cardinality axis never needs to exceed capacity / min weight.
+  int min_weight = std::numeric_limits<int>::max();
+  for (const Item& item : problem.items) min_weight = std::min(min_weight, item.weight);
+  const auto k_max = static_cast<std::size_t>(std::min<long long>(
+      problem.max_items, problem.capacity / std::max(min_weight, 1)));
+
+  // dp[k][w] = best value using exactly k items of total weight exactly w.
+  // choice[k][w] = item index of the last item added to reach that state.
+  std::vector<std::vector<double>> dp(k_max + 1,
+                                      std::vector<double>(cap + 1, kNegInf));
+  std::vector<std::vector<int>> choice(k_max + 1, std::vector<int>(cap + 1, -1));
+  dp[0][0] = 0.0;
+
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    for (std::size_t w = 0; w <= cap; ++w) {
+      for (std::size_t i = 0; i < n_items; ++i) {
+        const auto wi = static_cast<std::size_t>(problem.items[i].weight);
+        if (wi > w || dp[k - 1][w - wi] == kNegInf) continue;
+        const double candidate = dp[k - 1][w - wi] + problem.items[i].value;
+        if (candidate > dp[k][w]) {
+          dp[k][w] = candidate;
+          choice[k][w] = static_cast<int>(i);
+        }
+      }
+    }
+  }
+
+  // Best terminal state under the documented tie-break (value desc, weight
+  // asc, items asc): scan in (k, w) ascending and keep strict improvements.
+  std::size_t best_k = 0, best_w = 0;
+  double best_value = 0.0;
+  for (std::size_t k = 0; k <= k_max; ++k)
+    for (std::size_t w = 0; w <= cap; ++w)
+      if (dp[k][w] != kNegInf && value_strictly_greater(dp[k][w], best_value)) {
+        best_value = dp[k][w];
+        best_k = k;
+        best_w = w;
+      }
+
+  std::vector<Count> counts(n_items, 0);
+  for (std::size_t k = best_k, w = best_w; k > 0;) {
+    const int i = choice[k][w];
+    ++counts[static_cast<std::size_t>(i)];
+    w -= static_cast<std::size_t>(problem.items[static_cast<std::size_t>(i)].weight);
+    --k;
+  }
+  return make_solution(problem, std::move(counts));
+}
+
+namespace {
+
+struct BnBState {
+  const Problem* problem;
+  std::vector<std::size_t> order;    // item indices by density descending
+  std::vector<double> best_density_from;  // max density over order[i..]
+  Solution best;
+  std::vector<Count> counts;
+};
+
+void bnb_recurse(BnBState& st, std::size_t pos, int cap_left, Count items_left,
+                 double value) {
+  const Problem& p = *st.problem;
+  // Candidate completion with what is already chosen.
+  {
+    Solution candidate = make_solution(p, st.counts);
+    if (better_solution(candidate, st.best)) st.best = std::move(candidate);
+  }
+  if (pos == st.order.size() || cap_left <= 0 || items_left <= 0) return;
+
+  // Fractional bound: remaining capacity filled at the best remaining
+  // density, also capped by the cardinality budget at the best remaining
+  // per-item value.
+  double best_item_value = 0.0;
+  for (std::size_t j = pos; j < st.order.size(); ++j)
+    best_item_value = std::max(best_item_value, p.items[st.order[j]].value);
+  const double bound =
+      value + std::min(static_cast<double>(cap_left) * st.best_density_from[pos],
+                       static_cast<double>(items_left) * best_item_value);
+  if (!value_strictly_greater(bound, st.best.value)) return;
+
+  const std::size_t item = st.order[pos];
+  const int w = p.items[item].weight;
+  const Count max_count =
+      std::min<Count>(items_left, static_cast<Count>(cap_left / w));
+  // Descending count order reaches good solutions early, tightening the bound.
+  for (Count c = max_count; c >= 0; --c) {
+    st.counts[item] = c;
+    bnb_recurse(st, pos + 1, cap_left - static_cast<int>(c) * w, items_left - c,
+                value + static_cast<double>(c) * p.items[item].value);
+  }
+  st.counts[item] = 0;
+}
+
+}  // namespace
+
+Solution solve_branch_bound(const Problem& problem) {
+  validate(problem);
+  BnBState st;
+  st.problem = &problem;
+  st.order.resize(problem.items.size());
+  std::iota(st.order.begin(), st.order.end(), std::size_t{0});
+  std::sort(st.order.begin(), st.order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = problem.items[a].value / problem.items[a].weight;
+    const double db = problem.items[b].value / problem.items[b].weight;
+    if (da != db) return da > db;
+    return a < b;
+  });
+  st.best_density_from.assign(st.order.size() + 1, 0.0);
+  for (std::size_t i = st.order.size(); i-- > 0;) {
+    const Item& item = problem.items[st.order[i]];
+    st.best_density_from[i] =
+        std::max(st.best_density_from[i + 1], item.value / item.weight);
+  }
+  st.counts.assign(problem.items.size(), 0);
+  st.best = make_solution(problem, st.counts);
+  bnb_recurse(st, 0, problem.capacity, problem.max_items, 0.0);
+  return st.best;
+}
+
+namespace {
+
+void exhaustive_recurse(const Problem& p, std::size_t item, int cap_left,
+                        Count items_left, std::vector<Count>& counts,
+                        Solution& best) {
+  if (item == p.items.size()) {
+    Solution candidate = make_solution(p, counts);
+    if (better_solution(candidate, best)) best = std::move(candidate);
+    return;
+  }
+  const int w = p.items[item].weight;
+  const Count max_count =
+      std::min<Count>(items_left, static_cast<Count>(cap_left / w));
+  for (Count c = 0; c <= max_count; ++c) {
+    counts[item] = c;
+    exhaustive_recurse(p, item + 1, cap_left - static_cast<int>(c) * w,
+                       items_left - c, counts, best);
+  }
+  counts[item] = 0;
+}
+
+}  // namespace
+
+Solution solve_exhaustive(const Problem& problem) {
+  validate(problem);
+  std::vector<Count> counts(problem.items.size(), 0);
+  Solution best = make_solution(problem, counts);
+  exhaustive_recurse(problem, 0, problem.capacity, problem.max_items, counts,
+                     best);
+  return best;
+}
+
+Solution solve_greedy(const Problem& problem) {
+  validate(problem);
+  std::vector<std::size_t> order(problem.items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = problem.items[a].value / problem.items[a].weight;
+    const double db = problem.items[b].value / problem.items[b].weight;
+    if (da != db) return da > db;
+    return a < b;
+  });
+  std::vector<Count> counts(problem.items.size(), 0);
+  int cap_left = problem.capacity;
+  Count items_left = problem.max_items;
+  for (const std::size_t i : order) {
+    const int w = problem.items[i].weight;
+    while (cap_left >= w && items_left > 0) {
+      ++counts[i];
+      cap_left -= w;
+      --items_left;
+    }
+  }
+  return make_solution(problem, std::move(counts));
+}
+
+}  // namespace oagrid::knapsack

@@ -1,0 +1,154 @@
+#include "middleware/client.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "middleware/mailbox.hpp"
+
+namespace oagrid::middleware {
+
+CampaignResult Client::submit(const appmodel::Ensemble& ensemble,
+                              sched::Heuristic heuristic) {
+  ensemble.validate();
+  OAGRID_REQUIRE(agent_.daemon_count() >= 1, "no server daemon deployed");
+  const int request_id = next_request_id_++;
+  CampaignResult result;
+
+  // Steps (1)-(3): broadcast the request, gather one performance vector per
+  // cluster, whatever the arrival order.
+  Mailbox<SedResponse> reply;
+  const int expected = agent_.broadcast_perf_request(
+      request_id, ensemble.scenarios, ensemble.months, heuristic, reply);
+  result.performance.resize(static_cast<std::size_t>(expected));
+  for (int received = 0; received < expected; ++received) {
+    std::optional<SedResponse> response = reply.receive();
+    if (!response)
+      throw std::runtime_error("oagrid: SeD channel closed during step 3");
+    const auto* perf = std::get_if<PerfResponse>(&*response);
+    if (perf == nullptr || perf->request_id != request_id)
+      throw std::runtime_error("oagrid: unexpected response during step 3");
+    result.performance[static_cast<std::size_t>(perf->cluster)] =
+        perf->performance;
+  }
+  OAGRID_INFO << "client: step 3 complete, " << expected
+              << " performance vector(s) received";
+
+  // Step (4): Algorithm 1 on the client.
+  result.repartition =
+      sched::greedy_repartition(result.performance, ensemble.scenarios);
+
+  // Step (5): dispatch each cluster's share (clusters with zero scenarios
+  // are not contacted, as in the paper's flow).
+  int outstanding = 0;
+  for (ClusterId c = 0; c < agent_.daemon_count(); ++c) {
+    const Count share =
+        result.repartition.dags_per_cluster[static_cast<std::size_t>(c)];
+    if (share == 0) continue;
+    agent_.send_execute(c, request_id, share, ensemble.months, heuristic,
+                        reply);
+    ++outstanding;
+  }
+
+  // Step (6): collect execution reports.
+  for (int received = 0; received < outstanding; ++received) {
+    std::optional<SedResponse> response = reply.receive();
+    if (!response)
+      throw std::runtime_error("oagrid: SeD channel closed during step 6");
+    const auto* exec = std::get_if<ExecuteResponse>(&*response);
+    if (exec == nullptr || exec->request_id != request_id)
+      throw std::runtime_error("oagrid: unexpected response during step 6");
+    result.executions.push_back(*exec);
+    result.makespan = std::max(result.makespan, exec->makespan);
+  }
+  std::sort(result.executions.begin(), result.executions.end(),
+            [](const ExecuteResponse& a, const ExecuteResponse& b) {
+              return a.cluster < b.cluster;
+            });
+  OAGRID_INFO << "client: campaign finished, makespan " << result.makespan
+              << " s";
+  return result;
+}
+
+Client::FaultTolerantResult Client::submit_with_deadline(
+    const appmodel::Ensemble& ensemble, sched::Heuristic heuristic,
+    std::chrono::milliseconds step_timeout) {
+  ensemble.validate();
+  OAGRID_REQUIRE(agent_.daemon_count() >= 1, "no server daemon deployed");
+  OAGRID_REQUIRE(step_timeout.count() > 0, "timeout must be positive");
+  const int request_id = next_request_id_++;
+  FaultTolerantResult result;
+
+  // Steps (1)-(3) with a step deadline: collect whatever arrives in time.
+  Mailbox<SedResponse> reply;
+  const int expected = agent_.broadcast_perf_request(
+      request_id, ensemble.scenarios, ensemble.months, heuristic, reply);
+  const auto deadline = std::chrono::steady_clock::now() + step_timeout;
+  std::vector<sched::PerformanceVector> vectors(
+      static_cast<std::size_t>(expected));
+  std::vector<bool> answered(static_cast<std::size_t>(expected), false);
+  int received = 0;
+  while (received < expected) {
+    const auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (budget.count() <= 0) break;
+    std::optional<SedResponse> response = reply.receive_for(budget);
+    if (!response) break;
+    const auto* perf = std::get_if<PerfResponse>(&*response);
+    if (perf == nullptr || perf->request_id != request_id) continue;  // stale
+    vectors[static_cast<std::size_t>(perf->cluster)] = perf->performance;
+    answered[static_cast<std::size_t>(perf->cluster)] = true;
+    ++received;
+  }
+  for (ClusterId c = 0; c < expected; ++c) {
+    if (answered[static_cast<std::size_t>(c)]) {
+      result.responsive.push_back(c);
+      result.campaign.performance.push_back(
+          std::move(vectors[static_cast<std::size_t>(c)]));
+    } else {
+      result.unresponsive.push_back(c);
+    }
+  }
+  if (result.responsive.empty())
+    throw std::runtime_error("oagrid: no cluster answered step 3 in time");
+  OAGRID_WARN << "client: " << result.unresponsive.size()
+              << " daemon(s) dropped after the step-3 deadline";
+
+  // Step (4) over the responsive subset.
+  result.campaign.repartition =
+      sched::greedy_repartition(result.campaign.performance, ensemble.scenarios);
+
+  // Steps (5)-(6), again under a deadline; silent executors are reported
+  // unresponsive (their share would be resubmitted by a real operator).
+  int outstanding = 0;
+  for (std::size_t i = 0; i < result.responsive.size(); ++i) {
+    const Count share = result.campaign.repartition.dags_per_cluster[i];
+    if (share == 0) continue;
+    agent_.send_execute(result.responsive[i], request_id, share,
+                        ensemble.months, heuristic, reply);
+    ++outstanding;
+  }
+  const auto exec_deadline = std::chrono::steady_clock::now() + step_timeout;
+  for (int got = 0; got < outstanding;) {
+    const auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
+        exec_deadline - std::chrono::steady_clock::now());
+    if (budget.count() <= 0) break;
+    std::optional<SedResponse> response = reply.receive_for(budget);
+    if (!response) break;
+    const auto* exec = std::get_if<ExecuteResponse>(&*response);
+    if (exec == nullptr || exec->request_id != request_id) continue;
+    result.campaign.executions.push_back(*exec);
+    result.campaign.makespan =
+        std::max(result.campaign.makespan, exec->makespan);
+    ++got;
+  }
+  std::sort(result.campaign.executions.begin(),
+            result.campaign.executions.end(),
+            [](const ExecuteResponse& a, const ExecuteResponse& b) {
+              return a.cluster < b.cluster;
+            });
+  return result;
+}
+
+}  // namespace oagrid::middleware

@@ -1,0 +1,52 @@
+#pragma once
+/// \file client.hpp
+/// \brief The campaign client: drives the full six-step protocol of the
+/// paper's Figure 9 against a MasterAgent.
+
+#include <chrono>
+
+#include "appmodel/ensemble.hpp"
+#include "middleware/deployment.hpp"
+#include "sched/repartition.hpp"
+
+namespace oagrid::middleware {
+
+/// Outcome of one campaign submission.
+struct CampaignResult {
+  std::vector<sched::PerformanceVector> performance;  ///< per cluster (step 3)
+  sched::Repartition repartition;                     ///< step 4
+  std::vector<ExecuteResponse> executions;            ///< step 6 reports
+  Seconds makespan = 0.0;  ///< max over executed clusters
+};
+
+class Client {
+ public:
+  /// Works against any deployment shape — flat MasterAgent or a
+  /// HierarchicalAgent tree; the protocol is identical.
+  explicit Client(Deployment& agent) : agent_(agent) {}
+
+  /// Runs steps 1-6 synchronously and returns the aggregated result. Throws
+  /// if a daemon fails to answer (closed mailbox).
+  [[nodiscard]] CampaignResult submit(const appmodel::Ensemble& ensemble,
+                                      sched::Heuristic heuristic);
+
+  /// Fault-tolerant variant for real grids: daemons that do not answer a
+  /// protocol step within `step_timeout` are dropped from the campaign (the
+  /// repartition runs over the responsive clusters only — a crashed SeD
+  /// must not strand the whole experiment). Throws only when *no* cluster
+  /// answers step 3.
+  struct FaultTolerantResult {
+    CampaignResult campaign;               ///< over responsive clusters
+    std::vector<ClusterId> responsive;     ///< campaign index -> real id
+    std::vector<ClusterId> unresponsive;   ///< dropped daemons
+  };
+  [[nodiscard]] FaultTolerantResult submit_with_deadline(
+      const appmodel::Ensemble& ensemble, sched::Heuristic heuristic,
+      std::chrono::milliseconds step_timeout);
+
+ private:
+  Deployment& agent_;
+  int next_request_id_ = 1;
+};
+
+}  // namespace oagrid::middleware

@@ -1,0 +1,91 @@
+#pragma once
+/// \file mailbox.hpp
+/// \brief Thread-safe message queue — the transport of the in-process
+/// DIET-like middleware.
+///
+/// The real deployment the paper targets uses the DIET grid middleware over
+/// CORBA; the reproduction replaces the wire with bounded-blocking mailboxes
+/// between threads (one thread per server daemon). Close semantics mirror a
+/// connection teardown: receivers drain remaining messages, then observe
+/// end-of-stream.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace oagrid::middleware {
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a message. Returns false (drops) if the mailbox is closed.
+  bool send(T message) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(message));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next message; std::nullopt once closed and drained.
+  std::optional<T> receive() {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Blocks up to `timeout`; std::nullopt on timeout or close-and-drained.
+  /// The two cases are distinguishable via closed().
+  std::optional<T> receive_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    if (!ready_.wait_for(lock, timeout,
+                         [this] { return !queue_.empty() || closed_; }))
+      return std::nullopt;
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Non-blocking poll.
+  std::optional<T> try_receive() {
+    const std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Ends the stream; pending messages stay receivable.
+  void close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace oagrid::middleware

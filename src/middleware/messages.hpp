@@ -1,0 +1,78 @@
+#pragma once
+/// \file messages.hpp
+/// \brief Typed messages of the Figure 9 protocol.
+///
+/// Step numbering follows the paper: (1) client sends NS and NM to the
+/// clusters; (2) each cluster computes its performance vector; (3) vectors
+/// return to the client; (4) the client computes the repartition; (5) the
+/// client sends execution requests; (6) clusters execute their share.
+
+#include <variant>
+
+#include "common/types.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/repartition.hpp"
+
+namespace oagrid::middleware {
+
+template <typename T>
+class Mailbox;
+
+/// Step (3) payload.
+struct PerfResponse {
+  int request_id = 0;
+  ClusterId cluster = 0;
+  sched::PerformanceVector performance;
+};
+
+/// Step (6) completion report.
+struct ExecuteResponse {
+  int request_id = 0;
+  ClusterId cluster = 0;
+  Count scenarios_run = 0;
+  Seconds makespan = 0.0;
+  Count mains_executed = 0;
+  Count posts_executed = 0;
+};
+
+/// Streamed during step (6) when the request asks for it: how far the
+/// cluster's campaign has advanced (in completed main tasks and simulated
+/// time) — what a monitoring dashboard would subscribe to during the real
+/// multi-week execution.
+struct ProgressUpdate {
+  int request_id = 0;
+  ClusterId cluster = 0;
+  Count months_done = 0;
+  Count months_total = 0;
+  Seconds simulated_time = 0.0;
+};
+
+using SedResponse = std::variant<PerfResponse, ExecuteResponse, ProgressUpdate>;
+
+/// Step (1) request: "compute the time needed to execute from 1 to NS
+/// simulations".
+struct PerfRequest {
+  int request_id = 0;
+  Count scenarios = 0;  ///< NS
+  Count months = 0;     ///< NM
+  sched::Heuristic heuristic = sched::Heuristic::kKnapsack;
+  Mailbox<SedResponse>* reply = nullptr;
+};
+
+/// Step (5) request: execute `scenarios` simulations. Setting
+/// `progress_every` > 0 asks for a ProgressUpdate on `reply` each time that
+/// many main tasks complete.
+struct ExecuteRequest {
+  int request_id = 0;
+  Count scenarios = 0;
+  Count months = 0;
+  sched::Heuristic heuristic = sched::Heuristic::kKnapsack;
+  Count progress_every = 0;
+  Mailbox<SedResponse>* reply = nullptr;
+};
+
+struct ShutdownRequest {};
+
+using SedRequest = std::variant<PerfRequest, ExecuteRequest, ShutdownRequest>;
+
+}  // namespace oagrid::middleware

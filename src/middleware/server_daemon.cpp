@@ -1,0 +1,83 @@
+#include "middleware/server_daemon.hpp"
+
+#include "common/log.hpp"
+#include "sim/ensemble_sim.hpp"
+#include "sim/perf_vector.hpp"
+
+namespace oagrid::middleware {
+
+ServerDaemon::ServerDaemon(ClusterId id, platform::Cluster cluster)
+    : id_(id), cluster_(std::move(cluster)), thread_([this] { serve(); }) {}
+
+ServerDaemon::~ServerDaemon() { stop(); }
+
+void ServerDaemon::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  inbox_.send(SedRequest{ShutdownRequest{}});
+  inbox_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ServerDaemon::serve() {
+  OAGRID_INFO << "SeD " << id_ << " (" << cluster_.name() << ", "
+              << cluster_.resources() << " procs) up";
+  for (;;) {
+    std::optional<SedRequest> request = inbox_.receive();
+    if (!request) break;
+    if (std::holds_alternative<ShutdownRequest>(*request)) break;
+    std::visit(
+        [this](const auto& r) {
+          using R = std::decay_t<decltype(r)>;
+          if constexpr (!std::is_same_v<R, ShutdownRequest>) handle(r);
+        },
+        *request);
+  }
+  OAGRID_INFO << "SeD " << id_ << " down";
+}
+
+void ServerDaemon::handle(const PerfRequest& request) {
+  OAGRID_DEBUG << "SeD " << id_ << " perf request #" << request.request_id
+               << " NS=" << request.scenarios << " NM=" << request.months;
+  PerfResponse response;
+  response.request_id = request.request_id;
+  response.cluster = id_;
+  response.performance = sim::performance_vector(
+      cluster_, request.scenarios, request.months, request.heuristic);
+  if (request.reply) request.reply->send(SedResponse{std::move(response)});
+}
+
+void ServerDaemon::handle(const ExecuteRequest& request) {
+  OAGRID_DEBUG << "SeD " << id_ << " executes " << request.scenarios
+               << " scenario(s)";
+  ExecuteResponse response;
+  response.request_id = request.request_id;
+  response.cluster = id_;
+  response.scenarios_run = request.scenarios;
+  if (request.scenarios > 0) {
+    const appmodel::Ensemble ensemble{request.scenarios, request.months};
+    sim::SimOptions options;
+    if (request.progress_every > 0 && request.reply != nullptr) {
+      options.progress_every = request.progress_every;
+      options.on_progress = [this, &request,
+                             total = ensemble.total_tasks()](Count done,
+                                                             Seconds now) {
+        ProgressUpdate update;
+        update.request_id = request.request_id;
+        update.cluster = id_;
+        update.months_done = done;
+        update.months_total = total;
+        update.simulated_time = now;
+        request.reply->send(SedResponse{update});
+      };
+    }
+    const sim::SimResult result = sim::simulate_with_heuristic(
+        cluster_, request.heuristic, ensemble, options);
+    response.makespan = result.makespan;
+    response.mains_executed = result.mains_executed;
+    response.posts_executed = result.posts_executed;
+  }
+  if (request.reply) request.reply->send(SedResponse{std::move(response)});
+}
+
+}  // namespace oagrid::middleware

@@ -1,0 +1,44 @@
+#pragma once
+/// \file grid.hpp
+/// \brief A grid = a set of heterogeneous homogeneous clusters (the
+/// Grid'5000 structure the paper targets in §5).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+
+namespace oagrid::platform {
+
+/// Heterogeneous collection of clusters. Inter-cluster transfers are never
+/// needed by the paper's scheme (a scenario never migrates once placed), so
+/// the grid carries no network model beyond cluster membership.
+class Grid {
+ public:
+  Grid() = default;
+  explicit Grid(std::vector<Cluster> clusters);
+
+  ClusterId add_cluster(Cluster cluster);
+
+  [[nodiscard]] int cluster_count() const noexcept {
+    return static_cast<int>(clusters_.size());
+  }
+  [[nodiscard]] const Cluster& cluster(ClusterId id) const;
+  [[nodiscard]] std::span<const Cluster> clusters() const noexcept {
+    return clusters_;
+  }
+  [[nodiscard]] ProcCount total_resources() const noexcept;
+
+  /// Grid with every cluster resized to `r` processors (the homogeneous-size
+  /// sweeps of Figure 10: "clusters have all the same number of resources").
+  [[nodiscard]] Grid with_uniform_resources(ProcCount r) const;
+
+  /// Grid keeping only the first `n` clusters.
+  [[nodiscard]] Grid prefix(int n) const;
+
+ private:
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace oagrid::platform

@@ -1,0 +1,108 @@
+#include "platform/parser.hpp"
+
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace oagrid::platform {
+namespace {
+
+struct PendingCluster {
+  std::string name;
+  std::optional<ProcCount> resources;
+  std::optional<ProcCount> min_group;
+  std::vector<Seconds> main_times;
+  std::optional<Seconds> post_time;
+  int start_line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("oagrid: grid file line " + std::to_string(line) +
+                              ": " + message);
+}
+
+Cluster finish(const PendingCluster& p) {
+  if (!p.resources) fail(p.start_line, "cluster '" + p.name + "' missing 'resources'");
+  if (!p.min_group) fail(p.start_line, "cluster '" + p.name + "' missing 'min_group'");
+  if (p.main_times.empty())
+    fail(p.start_line, "cluster '" + p.name + "' missing 'main_times'");
+  if (!p.post_time) fail(p.start_line, "cluster '" + p.name + "' missing 'post_time'");
+  return Cluster(p.name, *p.resources, *p.min_group, p.main_times, *p.post_time);
+}
+
+}  // namespace
+
+Grid parse_grid(std::istream& in) {
+  Grid grid;
+  std::optional<PendingCluster> current;
+  std::string raw;
+  int line_no = 0;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) continue;  // blank / comment-only line
+
+    if (keyword == "cluster") {
+      if (current) grid.add_cluster(finish(*current));
+      current.emplace();
+      current->start_line = line_no;
+      if (!(line >> current->name)) fail(line_no, "'cluster' needs a name");
+      continue;
+    }
+    if (!current) fail(line_no, "directive '" + keyword + "' before any 'cluster'");
+
+    if (keyword == "resources") {
+      ProcCount r = 0;
+      if (!(line >> r) || r < 1) fail(line_no, "'resources' needs a positive integer");
+      current->resources = r;
+    } else if (keyword == "min_group") {
+      ProcCount g = 0;
+      if (!(line >> g) || g < 1) fail(line_no, "'min_group' needs a positive integer");
+      current->min_group = g;
+    } else if (keyword == "main_times") {
+      Seconds t = 0;
+      while (line >> t) {
+        if (t <= 0) fail(line_no, "'main_times' entries must be positive");
+        current->main_times.push_back(t);
+      }
+      if (current->main_times.empty()) fail(line_no, "'main_times' needs >= 1 value");
+    } else if (keyword == "post_time") {
+      Seconds t = 0;
+      if (!(line >> t) || t <= 0) fail(line_no, "'post_time' needs a positive number");
+      current->post_time = t;
+    } else {
+      fail(line_no, "unknown directive '" + keyword + "'");
+    }
+  }
+  if (current) grid.add_cluster(finish(*current));
+  if (grid.cluster_count() == 0)
+    throw std::invalid_argument("oagrid: grid file contains no cluster");
+  return grid;
+}
+
+Grid parse_grid_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_grid(in);
+}
+
+void write_grid(std::ostream& out, const Grid& grid) {
+  // 17 significant digits round-trip any double exactly.
+  out.precision(17);
+  for (const auto& c : grid.clusters()) {
+    out << "cluster " << c.name() << '\n';
+    out << "resources " << c.resources() << '\n';
+    out << "min_group " << c.min_group() << '\n';
+    out << "main_times";
+    for (const Seconds t : c.main_times()) out << ' ' << t;
+    out << '\n';
+    out << "post_time " << c.post_time() << "\n\n";
+  }
+}
+
+}  // namespace oagrid::platform

@@ -1,0 +1,141 @@
+#include "sched/baselines.hpp"
+
+#include <algorithm>
+
+namespace oagrid::sched {
+namespace {
+
+/// Nodes on a static critical path under the current allotment: every node
+/// with top_level + bottom_level == critical path length (within epsilon).
+std::vector<dag::NodeId> critical_path_nodes(const dag::Dag& graph,
+                                             const Allotment& allotment,
+                                             const MoldableDuration& duration) {
+  const auto n = static_cast<std::size_t>(graph.node_count());
+  const std::vector<Seconds> bottom = bottom_levels(graph, allotment, duration);
+
+  std::vector<Seconds> top(n, 0.0);  // longest path strictly above the node
+  for (const dag::NodeId v : graph.topological_order()) {
+    for (const dag::NodeId w : graph.successors(v)) {
+      const Seconds through =
+          top[static_cast<std::size_t>(v)] +
+          duration(v, allotment.procs[static_cast<std::size_t>(v)]);
+      top[static_cast<std::size_t>(w)] =
+          std::max(top[static_cast<std::size_t>(w)], through);
+    }
+  }
+  Seconds cp = 0.0;
+  for (std::size_t v = 0; v < n; ++v) cp = std::max(cp, top[v] + bottom[v]);
+
+  std::vector<dag::NodeId> nodes;
+  const Seconds eps = 1e-9 * std::max(1.0, cp);
+  for (std::size_t v = 0; v < n; ++v)
+    if (top[v] + bottom[v] >= cp - eps)
+      nodes.push_back(static_cast<dag::NodeId>(v));
+  return nodes;
+}
+
+bool can_grow(const dag::Dag& graph, const Allotment& allotment,
+              dag::NodeId v, ProcCount resources) {
+  const dag::TaskSpec& spec = graph.task(v);
+  if (spec.shape != dag::TaskShape::kMoldable) return false;
+  const ProcCount current = allotment.procs[static_cast<std::size_t>(v)];
+  return current < spec.max_procs && current < resources;
+}
+
+double total_area(const dag::Dag& graph, const Allotment& allotment,
+                  const MoldableDuration& duration) {
+  double area = 0.0;
+  for (dag::NodeId v = 0; v < graph.node_count(); ++v) {
+    const ProcCount p = allotment.procs[static_cast<std::size_t>(v)];
+    area += duration(v, p) * static_cast<double>(p);
+  }
+  return area;
+}
+
+Seconds critical_path_length(const dag::Dag& graph, const Allotment& allotment,
+                             const MoldableDuration& duration) {
+  return graph.critical_path([&](dag::NodeId v) {
+    return duration(v, allotment.procs[static_cast<std::size_t>(v)]);
+  });
+}
+
+}  // namespace
+
+BaselineResult cpa_schedule(const dag::Dag& graph, ProcCount resources,
+                            const MoldableDuration& duration) {
+  BaselineResult result;
+  result.allotment = Allotment::minimal(graph);
+
+  // Allocation loop: balance the two lower bounds on the makespan — the
+  // critical path and the average work per processor.
+  for (;;) {
+    const Seconds cp = critical_path_length(graph, result.allotment, duration);
+    const double avg_area =
+        total_area(graph, result.allotment, duration) /
+        static_cast<double>(resources);
+    if (cp <= avg_area) break;
+
+    dag::NodeId best = dag::kInvalidNode;
+    double best_gain = 0.0;
+    for (const dag::NodeId v :
+         critical_path_nodes(graph, result.allotment, duration)) {
+      if (!can_grow(graph, result.allotment, v, resources)) continue;
+      const ProcCount p = result.allotment.procs[static_cast<std::size_t>(v)];
+      // CPA's gain criterion: decrease of t(v)/p when adding one processor.
+      const double gain = duration(v, p) / static_cast<double>(p) -
+                          duration(v, p + 1) / static_cast<double>(p + 1);
+      if (best == dag::kInvalidNode || gain > best_gain) {
+        best = v;
+        best_gain = gain;
+      }
+    }
+    if (best == dag::kInvalidNode) break;  // nothing on the CP can grow
+    ++result.allotment.procs[static_cast<std::size_t>(best)];
+    ++result.growth_steps;
+  }
+
+  result.schedule = list_schedule(graph, result.allotment, resources, duration);
+  return result;
+}
+
+BaselineResult cpr_schedule(const dag::Dag& graph, ProcCount resources,
+                            const MoldableDuration& duration, int max_steps) {
+  BaselineResult result;
+  result.allotment = Allotment::minimal(graph);
+  result.schedule = list_schedule(graph, result.allotment, resources, duration);
+
+  while (result.growth_steps < max_steps) {
+    dag::NodeId best = dag::kInvalidNode;
+    Seconds best_makespan = result.schedule.makespan;
+    ListScheduleResult best_schedule;
+
+    for (const dag::NodeId v :
+         critical_path_nodes(graph, result.allotment, duration)) {
+      if (!can_grow(graph, result.allotment, v, resources)) continue;
+      Allotment trial = result.allotment;
+      ++trial.procs[static_cast<std::size_t>(v)];
+      ListScheduleResult trial_schedule =
+          list_schedule(graph, trial, resources, duration);
+      if (trial_schedule.makespan < best_makespan - 1e-9) {
+        best = v;
+        best_makespan = trial_schedule.makespan;
+        best_schedule = std::move(trial_schedule);
+      }
+    }
+    if (best == dag::kInvalidNode) break;  // no single growth improves
+    ++result.allotment.procs[static_cast<std::size_t>(best)];
+    result.schedule = std::move(best_schedule);
+    ++result.growth_steps;
+  }
+  return result;
+}
+
+BaselineResult minimal_schedule(const dag::Dag& graph, ProcCount resources,
+                                const MoldableDuration& duration) {
+  BaselineResult result;
+  result.allotment = Allotment::minimal(graph);
+  result.schedule = list_schedule(graph, result.allotment, resources, duration);
+  return result;
+}
+
+}  // namespace oagrid::sched

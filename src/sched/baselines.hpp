@@ -1,0 +1,56 @@
+#pragma once
+/// \file baselines.hpp
+/// \brief Related-work mixed-parallelism baselines the paper compares its
+/// design against in §3: CPA (Radulescu & van Gemund, ICPP'01) and CPR
+/// (Radulescu et al., IPDPS'01).
+///
+/// Both schedule a *single* DAG of moldable tasks on R homogeneous
+/// processors; the paper argues they do not fit its workload because an
+/// ensemble has "as many critical paths as simulations". The bench
+/// bench_baselines runs them on the merged ensemble DAG (all scenario chains
+/// side by side) to quantify exactly that argument.
+///
+/// Implementation notes:
+///  * CPA: start every moldable task at its minimum allotment; while the
+///    critical-path length exceeds the average area per processor, grow the
+///    allotment of the critical-path task whose growth shrinks its time the
+///    most; then list-schedule.
+///  * CPR: start minimal; repeatedly try +1 processor on each critical-path
+///    task, keep the change that most reduces the *list-scheduled* makespan;
+///    stop when no single growth improves it. (We recompute the static
+///    critical path from current durations rather than the dynamic schedule
+///    path — a simplification documented here; it preserves the algorithm's
+///    one-step structure and monotone-improvement property.)
+
+#include "sched/list_scheduler.hpp"
+
+namespace oagrid::sched {
+
+/// Result of a baseline run: final allotment and its schedule.
+struct BaselineResult {
+  Allotment allotment;
+  ListScheduleResult schedule;
+  int growth_steps = 0;  ///< allotment increments performed
+};
+
+/// CPA — two-step: allocate by critical-path/average-area balance, then
+/// list-schedule.
+[[nodiscard]] BaselineResult cpa_schedule(const dag::Dag& graph,
+                                          ProcCount resources,
+                                          const MoldableDuration& duration);
+
+/// CPR — one-step: grow allotments only while the evaluated makespan
+/// improves. `max_steps` bounds the optimization loop (each step costs one
+/// list-scheduling pass per critical-path candidate).
+[[nodiscard]] BaselineResult cpr_schedule(const dag::Dag& graph,
+                                          ProcCount resources,
+                                          const MoldableDuration& duration,
+                                          int max_steps = 1 << 20);
+
+/// Convenience: minimal-allotment pure list scheduling (the "data
+/// parallelism off" reference point).
+[[nodiscard]] BaselineResult minimal_schedule(const dag::Dag& graph,
+                                              ProcCount resources,
+                                              const MoldableDuration& duration);
+
+}  // namespace oagrid::sched

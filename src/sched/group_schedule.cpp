@@ -1,0 +1,42 @@
+#include "sched/group_schedule.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace oagrid::sched {
+
+const char* to_string(PostPolicy policy) noexcept {
+  switch (policy) {
+    case PostPolicy::kPoolThenRetired: return "pool+retired";
+    case PostPolicy::kAllAtEnd: return "all-at-end";
+  }
+  return "?";
+}
+
+void GroupSchedule::validate(const platform::Cluster& cluster) const {
+  OAGRID_REQUIRE(!group_sizes.empty(), "schedule needs at least one group");
+  for (const ProcCount g : group_sizes)
+    OAGRID_REQUIRE(g >= cluster.min_group() && g <= cluster.max_group(),
+                   "group size outside the cluster's admissible range");
+  OAGRID_REQUIRE(post_pool >= 0, "negative post pool");
+  OAGRID_REQUIRE(total_resources() <= cluster.resources(),
+                 "schedule uses more processors than the cluster has");
+}
+
+std::string GroupSchedule::describe() const {
+  // Histogram in descending size order reads like the paper's prose
+  // ("3 groups with 8 resources and 4 groups with 7").
+  std::map<ProcCount, int, std::greater<>> histogram;
+  for (const ProcCount g : group_sizes) ++histogram[g];
+  std::string out;
+  for (const auto& [size, count] : histogram) {
+    if (!out.empty()) out += " + ";
+    out += std::to_string(count) + "x" + std::to_string(size);
+  }
+  if (out.empty()) out = "(no groups)";
+  out += " | pool=" + std::to_string(post_pool) + " (" +
+         to_string(post_policy) + ")";
+  return out;
+}
+
+}  // namespace oagrid::sched

@@ -1,0 +1,58 @@
+#pragma once
+/// \file group_schedule.hpp
+/// \brief The common output vocabulary of every grouping heuristic.
+///
+/// All four heuristics of the paper (§4.1 basic, §4.2 improvements 1-3)
+/// reduce to the same decision: a multiset of processor-group sizes for the
+/// moldable main tasks, plus a policy for where post-processing tasks run.
+/// GroupSchedule captures that decision; the discrete-event simulator
+/// (sim::simulate_ensemble) executes it.
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "platform/cluster.hpp"
+
+namespace oagrid::sched {
+
+/// Where single-processor post-processing tasks execute.
+enum class PostPolicy {
+  /// Posts run on the dedicated pool (post_pool processors) at any time, and
+  /// additionally on the processors of any group that has retired (finished
+  /// its last main task). This models the paper's basic heuristic and
+  /// improvements 1 and 3.
+  kPoolThenRetired,
+  /// No post runs before the last main task completes; then all processors
+  /// of the cluster process posts (the paper's Improvement 2).
+  kAllAtEnd,
+};
+
+[[nodiscard]] const char* to_string(PostPolicy policy) noexcept;
+
+/// A grouping decision for one cluster.
+struct GroupSchedule {
+  std::vector<ProcCount> group_sizes;  ///< one entry per main-task group
+  ProcCount post_pool = 0;             ///< dedicated post processors (R2-like)
+  PostPolicy post_policy = PostPolicy::kPoolThenRetired;
+
+  [[nodiscard]] ProcCount main_resources() const noexcept {
+    return std::accumulate(group_sizes.begin(), group_sizes.end(), ProcCount{0});
+  }
+  [[nodiscard]] ProcCount total_resources() const noexcept {
+    return main_resources() + post_pool;
+  }
+  [[nodiscard]] int group_count() const noexcept {
+    return static_cast<int>(group_sizes.size());
+  }
+
+  /// Throws unless every group size is admissible on `cluster` and the
+  /// schedule fits in the cluster's processor count.
+  void validate(const platform::Cluster& cluster) const;
+
+  /// Compact human-readable form, e.g. "3x8 + 4x7 | pool=1 (pool+retired)".
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace oagrid::sched

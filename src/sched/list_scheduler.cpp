@@ -1,0 +1,122 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace oagrid::sched {
+
+Allotment Allotment::minimal(const dag::Dag& graph) {
+  Allotment a;
+  a.procs.reserve(static_cast<std::size_t>(graph.node_count()));
+  for (dag::NodeId v = 0; v < graph.node_count(); ++v) {
+    const dag::TaskSpec& spec = graph.task(v);
+    a.procs.push_back(spec.shape == dag::TaskShape::kMoldable ? spec.min_procs
+                                                              : spec.procs);
+  }
+  return a;
+}
+
+std::vector<Seconds> bottom_levels(const dag::Dag& graph,
+                                   const Allotment& allotment,
+                                   const MoldableDuration& duration) {
+  OAGRID_REQUIRE(graph.frozen(), "DAG must be frozen");
+  OAGRID_REQUIRE(allotment.procs.size() ==
+                     static_cast<std::size_t>(graph.node_count()),
+                 "allotment size mismatch");
+  std::vector<Seconds> level(static_cast<std::size_t>(graph.node_count()), 0.0);
+  const auto topo = graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const dag::NodeId v = *it;
+    Seconds below = 0.0;
+    for (const dag::NodeId w : graph.successors(v))
+      below = std::max(below, level[static_cast<std::size_t>(w)]);
+    level[static_cast<std::size_t>(v)] =
+        below + duration(v, allotment.procs[static_cast<std::size_t>(v)]);
+  }
+  return level;
+}
+
+ListScheduleResult list_schedule(const dag::Dag& graph,
+                                 const Allotment& allotment,
+                                 ProcCount resources,
+                                 const MoldableDuration& duration) {
+  OAGRID_REQUIRE(graph.frozen(), "DAG must be frozen");
+  OAGRID_REQUIRE(resources >= 1, "need at least one processor");
+  const auto n = static_cast<std::size_t>(graph.node_count());
+  OAGRID_REQUIRE(allotment.procs.size() == n, "allotment size mismatch");
+  for (const ProcCount p : allotment.procs)
+    OAGRID_REQUIRE(p >= 1 && p <= resources,
+                   "allotment outside [1, resources]");
+
+  const std::vector<Seconds> priority = bottom_levels(graph, allotment, duration);
+
+  ListScheduleResult result;
+  result.start.assign(n, 0.0);
+  result.finish.assign(n, 0.0);
+
+  // Ready tasks ordered by bottom level descending (ties by id ascending for
+  // determinism).
+  auto better = [&](dag::NodeId a, dag::NodeId b) {
+    const Seconds pa = priority[static_cast<std::size_t>(a)];
+    const Seconds pb = priority[static_cast<std::size_t>(b)];
+    if (pa != pb) return pa < pb;  // priority_queue: "less" => b on top
+    return a > b;
+  };
+  std::priority_queue<dag::NodeId, std::vector<dag::NodeId>, decltype(better)>
+      ready(better);
+
+  std::vector<int> missing_preds(n, 0);
+  std::vector<Seconds> ready_time(n, 0.0);
+  for (dag::NodeId v = 0; v < graph.node_count(); ++v) {
+    missing_preds[static_cast<std::size_t>(v)] =
+        static_cast<int>(graph.predecessors(v).size());
+    if (missing_preds[static_cast<std::size_t>(v)] == 0) ready.push(v);
+  }
+
+  // Per-processor release times; kept sorted ascending before each pick.
+  std::vector<Seconds> release(static_cast<std::size_t>(resources), 0.0);
+
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    const dag::NodeId v = ready.top();
+    ready.pop();
+    const auto p = static_cast<std::size_t>(
+        allotment.procs[static_cast<std::size_t>(v)]);
+    std::sort(release.begin(), release.end());
+    const Seconds start =
+        std::max(ready_time[static_cast<std::size_t>(v)], release[p - 1]);
+    const Seconds dur =
+        duration(v, allotment.procs[static_cast<std::size_t>(v)]);
+    const Seconds finish = start + dur;
+    for (std::size_t k = 0; k < p; ++k) release[k] = finish;
+    result.start[static_cast<std::size_t>(v)] = start;
+    result.finish[static_cast<std::size_t>(v)] = finish;
+    result.makespan = std::max(result.makespan, finish);
+    ++scheduled;
+    for (const dag::NodeId w : graph.successors(v)) {
+      ready_time[static_cast<std::size_t>(w)] =
+          std::max(ready_time[static_cast<std::size_t>(w)], finish);
+      if (--missing_preds[static_cast<std::size_t>(w)] == 0) ready.push(w);
+    }
+  }
+  OAGRID_REQUIRE(scheduled == n, "list scheduler did not reach every node");
+  return result;
+}
+
+MoldableDuration cluster_duration(const dag::Dag& graph,
+                                  const platform::Cluster& cluster) {
+  // Rigid durations are calibrated on the reference platform; the cluster's
+  // relative speed is its post_time over the reference 180 s.
+  const double speed = cluster.post_time() / 180.0;
+  return [&graph, &cluster, speed](dag::NodeId v, ProcCount p) -> Seconds {
+    const dag::TaskSpec& spec = graph.task(v);
+    if (spec.shape == dag::TaskShape::kMoldable) {
+      const ProcCount g =
+          std::clamp(p, cluster.min_group(), cluster.max_group());
+      return cluster.main_time(g);
+    }
+    return spec.ref_duration * speed;
+  };
+}
+
+}  // namespace oagrid::sched

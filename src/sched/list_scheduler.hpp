@@ -1,0 +1,61 @@
+#pragma once
+/// \file list_scheduler.hpp
+/// \brief Bottom-level list scheduling of an allotted moldable DAG.
+///
+/// The related-work baselines the paper cites (CPR [8], CPA [9]) both reduce
+/// to: (1) pick a processor allotment per moldable task, (2) list-schedule
+/// the now-rigid DAG on R processors by descending bottom level. This module
+/// is step (2), shared by both baselines and their bench.
+///
+/// Processor allocation is the standard non-contiguous variant: a task
+/// needing p processors starts at max(ready time, p-th earliest processor
+/// release) on the p earliest-released processors.
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dag/dag.hpp"
+#include "platform/cluster.hpp"
+
+namespace oagrid::sched {
+
+/// Duration of node v when executed on p processors. Implementations must be
+/// defined for every p in the node's admissible range (rigid nodes are only
+/// queried at their fixed width).
+using MoldableDuration = std::function<Seconds(dag::NodeId, ProcCount)>;
+
+/// Per-node processor allotment.
+struct Allotment {
+  std::vector<ProcCount> procs;
+
+  /// Every moldable node at its minimum width, rigid nodes at their width.
+  [[nodiscard]] static Allotment minimal(const dag::Dag& graph);
+};
+
+/// Result of one list-scheduling pass.
+struct ListScheduleResult {
+  Seconds makespan = 0.0;
+  std::vector<Seconds> start;
+  std::vector<Seconds> finish;
+};
+
+/// Bottom level per node: longest duration-weighted path from the node to an
+/// exit, inclusive of the node itself, under the given allotment.
+[[nodiscard]] std::vector<Seconds> bottom_levels(
+    const dag::Dag& graph, const Allotment& allotment,
+    const MoldableDuration& duration);
+
+/// Schedules the allotted DAG on `resources` processors. Throws if any
+/// allotment exceeds `resources` or the DAG is not frozen.
+[[nodiscard]] ListScheduleResult list_schedule(
+    const dag::Dag& graph, const Allotment& allotment, ProcCount resources,
+    const MoldableDuration& duration);
+
+/// Duration functor over a platform cluster: moldable nodes use the
+/// cluster's main-task table (clamped to its range), rigid nodes their
+/// ref_duration scaled to the cluster's speed via the post-time ratio.
+[[nodiscard]] MoldableDuration cluster_duration(
+    const dag::Dag& graph, const platform::Cluster& cluster);
+
+}  // namespace oagrid::sched

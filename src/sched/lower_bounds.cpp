@@ -1,0 +1,59 @@
+#include "sched/lower_bounds.hpp"
+
+#include <algorithm>
+
+namespace oagrid::sched {
+
+Seconds min_main_time(const platform::Cluster& cluster) {
+  Seconds best = kInfiniteTime;
+  for (ProcCount g = cluster.min_group(); g <= cluster.max_group(); ++g)
+    best = std::min(best, cluster.main_time(g));
+  return best;
+}
+
+double min_main_area(const platform::Cluster& cluster) {
+  double best = kInfiniteTime;
+  for (ProcCount g = cluster.min_group(); g <= cluster.max_group(); ++g)
+    best = std::min(best, static_cast<double>(g) * cluster.main_time(g));
+  return best;
+}
+
+MakespanBounds ensemble_lower_bounds(const platform::Cluster& cluster,
+                                     const appmodel::Ensemble& ensemble) {
+  ensemble.validate();
+  MakespanBounds bounds;
+  // Chain: NM serialized mains + the final month's post.
+  bounds.chain_bound =
+      static_cast<double>(ensemble.months) * min_main_time(cluster) +
+      cluster.post_time();
+  // Area: all mains at their cheapest area, all posts, over R processors.
+  const double total_work =
+      static_cast<double>(ensemble.total_tasks()) *
+      (min_main_area(cluster) + cluster.post_time());
+  bounds.area_bound = total_work / static_cast<double>(cluster.resources());
+  return bounds;
+}
+
+MakespanBounds grid_lower_bounds(const platform::Grid& grid,
+                                 const appmodel::Ensemble& ensemble) {
+  ensemble.validate();
+  OAGRID_REQUIRE(grid.cluster_count() >= 1, "grid needs at least one cluster");
+  MakespanBounds bounds;
+  Seconds best_chain = kInfiniteTime;
+  double cheapest_area = kInfiniteTime;
+  for (const auto& cluster : grid.clusters()) {
+    best_chain = std::min(
+        best_chain,
+        static_cast<double>(ensemble.months) * min_main_time(cluster) +
+            cluster.post_time());
+    cheapest_area =
+        std::min(cheapest_area, min_main_area(cluster) + cluster.post_time());
+  }
+  bounds.chain_bound = best_chain;
+  bounds.area_bound = static_cast<double>(ensemble.total_tasks()) *
+                      cheapest_area /
+                      static_cast<double>(grid.total_resources());
+  return bounds;
+}
+
+}  // namespace oagrid::sched

@@ -1,0 +1,50 @@
+#pragma once
+/// \file lower_bounds.hpp
+/// \brief Makespan lower bounds for the ensemble-scheduling problem.
+///
+/// The paper evaluates heuristics against each other; these bounds let the
+/// reproduction also report *absolute* optimality gaps (bench_optimality):
+///
+///  * chain bound  — months of one scenario are serialized by restart
+///    dependencies, so no schedule beats NM x (fastest main time) plus one
+///    trailing post task;
+///  * area bound   — every main task occupies G x T(G) processor-seconds
+///    (minimized over G) and every post TP processor-seconds; R processors
+///    cannot absorb work faster than R seconds per second;
+///  * combined     — max of the two (both are valid simultaneously).
+///
+/// A grid variant bounds the §5 heterogeneous problem.
+
+#include "appmodel/ensemble.hpp"
+#include "platform/cluster.hpp"
+#include "platform/grid.hpp"
+
+namespace oagrid::sched {
+
+struct MakespanBounds {
+  Seconds chain_bound = 0.0;
+  Seconds area_bound = 0.0;
+  /// max(chain, area) — the reportable lower bound.
+  [[nodiscard]] Seconds combined() const noexcept {
+    return chain_bound > area_bound ? chain_bound : area_bound;
+  }
+};
+
+/// Bounds for `ensemble` on a single cluster.
+[[nodiscard]] MakespanBounds ensemble_lower_bounds(
+    const platform::Cluster& cluster, const appmodel::Ensemble& ensemble);
+
+/// Bounds for `ensemble` on a heterogeneous grid (scenarios never split
+/// across clusters, so the chain bound may use the fastest cluster; the area
+/// bound charges each task its cheapest area anywhere and divides by the
+/// grid's total processor count).
+[[nodiscard]] MakespanBounds grid_lower_bounds(
+    const platform::Grid& grid, const appmodel::Ensemble& ensemble);
+
+/// Smallest main-task execution time over the admissible group sizes.
+[[nodiscard]] Seconds min_main_time(const platform::Cluster& cluster);
+
+/// Smallest main-task area (G x T(G)) over the admissible group sizes.
+[[nodiscard]] double min_main_area(const platform::Cluster& cluster);
+
+}  // namespace oagrid::sched

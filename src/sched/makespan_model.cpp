@@ -1,0 +1,127 @@
+#include "sched/makespan_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oagrid::sched {
+namespace {
+
+constexpr Count ceil_div(Count a, Count b) { return (a + b - 1) / b; }
+
+/// floor(TG / TP) with a relative guard so that exact ratios (the paper's
+/// 1260 / 180 = 7) are not lost to floating-point representation.
+Count floor_time_ratio(Seconds tg, Seconds tp) {
+  return static_cast<Count>(std::floor(tg / tp + 1e-9));
+}
+
+}  // namespace
+
+const char* to_string(MakespanRegime regime) noexcept {
+  switch (regime) {
+    case MakespanRegime::kNoPoolExact: return "Eq2 (R2=0, nbused=0)";
+    case MakespanRegime::kNoPoolPartial: return "Eq3 (R2=0, nbused!=0)";
+    case MakespanRegime::kPoolExact: return "Eq4 (R2!=0, nbused=0)";
+    case MakespanRegime::kPoolPartial: return "Eq5 (R2!=0, nbused!=0)";
+    case MakespanRegime::kInfeasible: return "infeasible";
+  }
+  return "?";
+}
+
+MakespanEstimate evaluate_uniform_grouping(const platform::Cluster& cluster,
+                                           const appmodel::Ensemble& ensemble,
+                                           ProcCount group_size) {
+  ensemble.validate();
+  OAGRID_REQUIRE(group_size >= cluster.min_group() &&
+                     group_size <= cluster.max_group(),
+                 "group size outside the cluster's admissible range");
+
+  MakespanEstimate e;
+  const ProcCount r = cluster.resources();
+  if (r < group_size) return e;  // kInfeasible
+
+  const Count nbtasks = ensemble.total_tasks();
+  const Seconds tg = cluster.main_time(group_size);
+  const Seconds tp = cluster.post_time();
+  OAGRID_REQUIRE(tp > 0.0,
+                 "the closed-form model needs a positive post-task time");
+  const Count q = floor_time_ratio(tg, tp);  // posts per processor per set
+
+  e.nbmax = std::min<Count>(ensemble.scenarios, r / group_size);
+  e.r1 = static_cast<ProcCount>(e.nbmax) * group_size;
+  e.r2 = r - e.r1;
+  e.nbused = nbtasks % e.nbmax;
+  e.sets = ceil_div(nbtasks, e.nbmax);
+  e.main_phase = static_cast<double>(e.sets) * tg;  // Equation 1
+
+  if (e.r2 == 0) {
+    if (e.nbused == 0) {
+      // Equation 2: every set saturates all R processors, so every post waits
+      // for the end; they then run in ceil(nbtasks/R) waves on the full
+      // cluster.
+      e.regime = MakespanRegime::kNoPoolExact;
+      e.rem_post = nbtasks;
+      e.makespan = e.main_phase +
+                   static_cast<double>(ceil_div(nbtasks, r)) * tp;
+    } else {
+      // Equation 3: during the last (incomplete) set, the groups left idle
+      // free Rleft processors which absorb floor(TG/TP) posts each.
+      e.regime = MakespanRegime::kNoPoolPartial;
+      const ProcCount r_left = r - static_cast<ProcCount>(e.nbused) * group_size;
+      const Count absorbed = q * static_cast<Count>(r_left);
+      e.rem_post =
+          e.nbused + std::max<Count>(0, nbtasks - e.nbused - absorbed);
+      e.makespan = e.main_phase +
+                   static_cast<double>(ceil_div(e.rem_post, r)) * tp;
+    }
+    return e;
+  }
+
+  // Pool regimes: R2 processors absorb Npossible posts per TG window; when
+  // the window produces nbmax posts, the backlog grows by the difference
+  // (the "overpassing" of Figures 4-5).
+  const Count n_possible = q * static_cast<Count>(e.r2);
+  if (e.nbused == 0) {
+    // Equation 4.
+    e.regime = MakespanRegime::kPoolExact;
+    e.overpass = std::max<Count>(0, (e.sets - 1) * (e.nbmax - n_possible));
+    e.rem_post = e.overpass + e.nbmax;
+    e.makespan =
+        e.main_phase + static_cast<double>(ceil_div(e.rem_post, r)) * tp;
+  } else {
+    // Equation 5. The paper's expression assumes at least one complete set
+    // (n >= 2); with n = 1 there are no complete-set posts to carry over, so
+    // the overpass terms vanish (documented clamp).
+    e.regime = MakespanRegime::kPoolPartial;
+    Count overtot = 0;
+    if (e.sets >= 2) {
+      e.overpass = std::max<Count>(0, (e.sets - 2) * (e.nbmax - n_possible));
+      overtot = e.overpass + e.nbmax;
+    }
+    const ProcCount r_left = r - group_size * static_cast<ProcCount>(e.nbused);
+    const Count absorbed = q * static_cast<Count>(r_left);
+    e.rem_post = e.nbused + std::max<Count>(0, overtot - absorbed);
+    e.makespan =
+        e.main_phase + static_cast<double>(ceil_div(e.rem_post, r)) * tp;
+  }
+  return e;
+}
+
+UniformChoice best_uniform_grouping(const platform::Cluster& cluster,
+                                    const appmodel::Ensemble& ensemble) {
+  OAGRID_REQUIRE(cluster.resources() >= cluster.min_group(),
+                 "cluster too small for any group");
+  UniformChoice best;
+  for (ProcCount g = cluster.min_group(); g <= cluster.max_group(); ++g) {
+    if (cluster.resources() < g) break;
+    MakespanEstimate e = evaluate_uniform_grouping(cluster, ensemble, g);
+    if (e.regime == MakespanRegime::kInfeasible) continue;
+    if (best.group_size == 0 || e.makespan < best.estimate.makespan) {
+      best.group_size = g;
+      best.estimate = e;
+    }
+  }
+  OAGRID_REQUIRE(best.group_size != 0, "no feasible uniform grouping");
+  return best;
+}
+
+}  // namespace oagrid::sched

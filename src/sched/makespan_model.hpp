@@ -1,0 +1,79 @@
+#pragma once
+/// \file makespan_model.hpp
+/// \brief Closed-form makespan of the basic uniform-grouping heuristic —
+/// Equations 1-5 of the paper (§4.1), all four regimes.
+///
+/// With a uniform group size G, the nbmax = min(NS, floor(R/G)) groups stay
+/// synchronized: sets of main tasks start and finish in lockstep every TG
+/// seconds, which is what makes a closed form possible. The model computes,
+/// for a given G:
+///
+///   nbtasks = NS*NM            R1 = nbmax*G          R2 = R - R1
+///   nbused  = nbtasks mod nbmax (groups busy in the last, incomplete set)
+///   n       = ceil(nbtasks / nbmax) (number of sets)
+///   MSmulti = n * TG  (Equation 1)
+///
+/// and then one of four post-processing completions:
+///   R2 = 0, nbused = 0  -> Equation 2
+///   R2 = 0, nbused != 0 -> Equation 3 (posts catch up on the processors of
+///                          the groups idle during the last set)
+///   R2 != 0, nbused = 0 -> Equation 4 (pool of R2; backlog "overpasses" by
+///                          (nbmax - Npossible) per set when the pool is too
+///                          small, Figure 4/5)
+///   R2 != 0, nbused != 0 -> Equation 5 (both effects, Figure 6)
+///
+/// The closed form slightly over-approximates a real execution when TP does
+/// not divide TG (it re-buckets in-flight posts at set boundaries); tests
+/// verify exact agreement with the discrete-event simulator under
+/// divisibility and a one-sided bound otherwise.
+
+#include "appmodel/ensemble.hpp"
+#include "common/types.hpp"
+#include "platform/cluster.hpp"
+
+namespace oagrid::sched {
+
+/// Which of the paper's four formula regimes applied.
+enum class MakespanRegime {
+  kNoPoolExact,     ///< Eq 2: R2 = 0, nbused = 0
+  kNoPoolPartial,   ///< Eq 3: R2 = 0, nbused != 0
+  kPoolExact,       ///< Eq 4: R2 != 0, nbused = 0
+  kPoolPartial,     ///< Eq 5: R2 != 0, nbused != 0
+  kInfeasible,      ///< R < G: no group fits
+};
+
+[[nodiscard]] const char* to_string(MakespanRegime regime) noexcept;
+
+/// Full decomposition of one evaluation, exposing every intermediate the
+/// paper names so tests and benches can check them individually.
+struct MakespanEstimate {
+  MakespanRegime regime = MakespanRegime::kInfeasible;
+  Seconds makespan = kInfiniteTime;
+  Seconds main_phase = kInfiniteTime;  ///< Equation 1 (MSmulti)
+  Count nbmax = 0;
+  ProcCount r1 = 0;
+  ProcCount r2 = 0;
+  Count nbused = 0;
+  Count sets = 0;           ///< n
+  Count overpass = 0;       ///< Noverpass (0 in the no-pool regimes)
+  Count rem_post = 0;       ///< posts left for the final catch-up phase
+};
+
+/// Evaluates the closed form for one uniform group size G. TG is
+/// cluster.main_time(G), TP is cluster.post_time(). Returns kInfeasible when
+/// floor(R/G) = 0.
+[[nodiscard]] MakespanEstimate evaluate_uniform_grouping(
+    const platform::Cluster& cluster, const appmodel::Ensemble& ensemble,
+    ProcCount group_size);
+
+/// The §4.1 heuristic: evaluate every admissible G and keep the best (ties
+/// broken toward smaller G, which uses fewer processors per group). Throws if
+/// no G is feasible (R < min group size).
+struct UniformChoice {
+  ProcCount group_size = 0;
+  MakespanEstimate estimate;
+};
+[[nodiscard]] UniformChoice best_uniform_grouping(
+    const platform::Cluster& cluster, const appmodel::Ensemble& ensemble);
+
+}  // namespace oagrid::sched

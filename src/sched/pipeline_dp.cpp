@@ -1,0 +1,170 @@
+#include "sched/pipeline_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace oagrid::sched {
+namespace {
+
+/// Sum of stage times [a..b] on m processors; infinite if any stage cannot
+/// run on m.
+Seconds module_time(std::span<const PipelineStage> stages, int a, int b,
+                    ProcCount m) {
+  Seconds total = 0.0;
+  for (int s = a; s <= b; ++s) {
+    const Seconds t = stages[static_cast<std::size_t>(s)].time_clamped(m);
+    if (t == kInfiniteTime) return kInfiniteTime;
+    total += t;
+  }
+  return total;
+}
+
+struct DpCell {
+  Seconds objective = kInfiniteTime;
+  int prev_stage = -1;   ///< split point: previous prefix ends here
+  ProcCount prev_procs = -1;
+  ProcCount module_procs = 0;
+};
+
+PipelinePlan reconstruct(std::span<const PipelineStage> stages,
+                         const std::vector<std::vector<DpCell>>& dp,
+                         int last_stage, ProcCount procs) {
+  PipelinePlan plan;
+  if (dp[static_cast<std::size_t>(last_stage + 1)][static_cast<std::size_t>(procs)]
+          .objective == kInfiniteTime)
+    return plan;  // infeasible
+
+  int stage = last_stage;
+  ProcCount p = procs;
+  std::vector<PipelinePlan::Module> reversed;
+  while (stage >= 0) {
+    const DpCell& cell =
+        dp[static_cast<std::size_t>(stage + 1)][static_cast<std::size_t>(p)];
+    PipelinePlan::Module mod;
+    mod.first_stage = cell.prev_stage + 1;
+    mod.last_stage = stage;
+    mod.procs = cell.module_procs;
+    mod.period = module_time(stages, mod.first_stage, mod.last_stage, mod.procs);
+    reversed.push_back(mod);
+    stage = cell.prev_stage;
+    p = cell.prev_procs;
+  }
+  plan.modules.assign(reversed.rbegin(), reversed.rend());
+  plan.period = 0.0;
+  plan.latency = 0.0;
+  for (const auto& mod : plan.modules) {
+    plan.period = std::max(plan.period, mod.period);
+    plan.latency += mod.period;
+  }
+  return plan;
+}
+
+}  // namespace
+
+Seconds PipelineStage::time_clamped(ProcCount p) const {
+  if (p < min_procs) return kInfiniteTime;
+  return time(std::min(p, max_procs));
+}
+
+Seconds PipelinePlan::makespan_for(Count items) const {
+  if (!feasible() || items <= 0) return kInfiniteTime;
+  return latency + static_cast<double>(items - 1) * period;
+}
+
+PipelinePlan max_throughput_partition(std::span<const PipelineStage> stages,
+                                      ProcCount resources) {
+  OAGRID_REQUIRE(!stages.empty(), "pipeline needs at least one stage");
+  OAGRID_REQUIRE(resources >= 1, "need at least one processor");
+  const int k = static_cast<int>(stages.size());
+
+  // dp[i][p]: minimal bottleneck period for stages [0, i) using exactly <= p
+  // processors (monotone in p by construction, we allow slack by letting the
+  // final answer read dp[k][resources]).
+  std::vector<std::vector<DpCell>> dp(
+      static_cast<std::size_t>(k + 1),
+      std::vector<DpCell>(static_cast<std::size_t>(resources + 1)));
+  for (ProcCount p = 0; p <= resources; ++p)
+    dp[0][static_cast<std::size_t>(p)].objective = 0.0;
+
+  for (int i = 1; i <= k; ++i) {
+    for (ProcCount p = 1; p <= resources; ++p) {
+      DpCell& cell = dp[static_cast<std::size_t>(i)][static_cast<std::size_t>(p)];
+      // Last module covers stages [j, i-1] on m processors.
+      for (int j = 0; j < i; ++j) {
+        for (ProcCount m = 1; m <= p; ++m) {
+          const Seconds mod_t = module_time(stages, j, i - 1, m);
+          if (mod_t == kInfiniteTime) continue;
+          const DpCell& prev =
+              dp[static_cast<std::size_t>(j)][static_cast<std::size_t>(p - m)];
+          if (prev.objective == kInfiniteTime) continue;
+          const Seconds candidate = std::max(prev.objective, mod_t);
+          if (candidate < cell.objective) {
+            cell.objective = candidate;
+            cell.prev_stage = j - 1;
+            cell.prev_procs = p - m;
+            cell.module_procs = m;
+          }
+        }
+      }
+    }
+  }
+  return reconstruct(stages, dp, k - 1, resources);
+}
+
+PipelinePlan min_latency_partition(std::span<const PipelineStage> stages,
+                                   ProcCount resources, Seconds max_period) {
+  OAGRID_REQUIRE(!stages.empty(), "pipeline needs at least one stage");
+  OAGRID_REQUIRE(resources >= 1, "need at least one processor");
+  OAGRID_REQUIRE(max_period > 0.0, "period bound must be positive");
+  const int k = static_cast<int>(stages.size());
+
+  // Same recurrence with sum instead of max, modules over the period bound
+  // rejected.
+  std::vector<std::vector<DpCell>> dp(
+      static_cast<std::size_t>(k + 1),
+      std::vector<DpCell>(static_cast<std::size_t>(resources + 1)));
+  for (ProcCount p = 0; p <= resources; ++p)
+    dp[0][static_cast<std::size_t>(p)].objective = 0.0;
+
+  for (int i = 1; i <= k; ++i) {
+    for (ProcCount p = 1; p <= resources; ++p) {
+      DpCell& cell = dp[static_cast<std::size_t>(i)][static_cast<std::size_t>(p)];
+      for (int j = 0; j < i; ++j) {
+        for (ProcCount m = 1; m <= p; ++m) {
+          const Seconds mod_t = module_time(stages, j, i - 1, m);
+          if (mod_t == kInfiniteTime || mod_t > max_period) continue;
+          const DpCell& prev =
+              dp[static_cast<std::size_t>(j)][static_cast<std::size_t>(p - m)];
+          if (prev.objective == kInfiniteTime) continue;
+          const Seconds candidate = prev.objective + mod_t;
+          if (candidate < cell.objective) {
+            cell.objective = candidate;
+            cell.prev_stage = j - 1;
+            cell.prev_procs = p - m;
+            cell.module_procs = m;
+          }
+        }
+      }
+    }
+  }
+  return reconstruct(stages, dp, k - 1, resources);
+}
+
+Seconds pipeline_ensemble_makespan(std::span<const PipelineStage> stages,
+                                   ProcCount resources, Count scenarios,
+                                   Count items) {
+  OAGRID_REQUIRE(scenarios >= 1, "need at least one scenario");
+  const auto base = static_cast<ProcCount>(resources / scenarios);
+  const auto extra = static_cast<Count>(resources % scenarios);
+  Seconds worst = 0.0;
+  for (Count s = 0; s < scenarios; ++s) {
+    const ProcCount share = base + (s < extra ? 1 : 0);
+    if (share < 1) return kInfiniteTime;
+    const PipelinePlan plan = max_throughput_partition(stages, share);
+    if (!plan.feasible()) return kInfiniteTime;
+    worst = std::max(worst, plan.makespan_for(items));
+  }
+  return worst;
+}
+
+}  // namespace oagrid::sched

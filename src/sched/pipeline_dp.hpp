@@ -1,0 +1,80 @@
+#pragma once
+/// \file pipeline_dp.hpp
+/// \brief Pipelined data-parallel chain partitioning (Subhlok & Vondran
+/// style, the paper's related work [13], §3.3).
+///
+/// A scenario is a pipeline of (fused) data-parallel stages processing NM
+/// monthly data sets. The classic approach clusters consecutive stages into
+/// modules, gives each module a processor share, and runs the modules in
+/// pipeline: throughput is limited by the slowest module, latency is the sum
+/// of module periods, and the makespan for M items is
+/// latency + (M - 1) * period.
+///
+/// Two exact dynamic programs over (stage prefix, processors used):
+///  * max_throughput_partition — minimize the bottleneck period;
+///  * min_latency_partition    — minimize latency subject to a period bound
+///                               (the paper [13]'s dual problem).
+///
+/// bench_baselines uses these to show why a per-scenario pipeline split
+/// loses to the paper's group-based scheme on this workload.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace oagrid::sched {
+
+/// One pipeline stage: a moldable task applied to every data set.
+struct PipelineStage {
+  std::string name;
+  std::function<Seconds(ProcCount)> time;  ///< defined on [min_procs, max_procs]
+  ProcCount min_procs = 1;
+  ProcCount max_procs = 1;
+
+  /// Time on p processors, clamped above (extra processors idle) and
+  /// infinite below min_procs (infeasible).
+  [[nodiscard]] Seconds time_clamped(ProcCount p) const;
+};
+
+/// A consecutive-stage clustering with processor shares.
+struct PipelinePlan {
+  struct Module {
+    int first_stage = 0;
+    int last_stage = 0;   ///< inclusive
+    ProcCount procs = 0;
+    Seconds period = 0.0;  ///< per-data-set time of this module
+  };
+  std::vector<Module> modules;
+  Seconds period = kInfiniteTime;   ///< bottleneck (max module period)
+  Seconds latency = kInfiniteTime;  ///< one data set end-to-end
+
+  [[nodiscard]] bool feasible() const noexcept { return !modules.empty(); }
+
+  /// Steady-state pipeline makespan for `items` data sets.
+  [[nodiscard]] Seconds makespan_for(Count items) const;
+};
+
+/// Minimizes the bottleneck period over all consecutive partitions and
+/// processor splits of `resources`. Returns an infeasible plan when even the
+/// whole machine cannot host one stage.
+[[nodiscard]] PipelinePlan max_throughput_partition(
+    std::span<const PipelineStage> stages, ProcCount resources);
+
+/// Minimizes latency subject to period <= max_period.
+[[nodiscard]] PipelinePlan min_latency_partition(
+    std::span<const PipelineStage> stages, ProcCount resources,
+    Seconds max_period);
+
+/// Ensemble adaptation used as a baseline: split `resources` evenly over
+/// `scenarios` identical pipelines (remainder spread one-by-one), each
+/// optimized for throughput, and return the worst per-scenario makespan for
+/// `items` data sets each. Infinite when some scenario gets too few
+/// processors.
+[[nodiscard]] Seconds pipeline_ensemble_makespan(
+    std::span<const PipelineStage> stages, ProcCount resources,
+    Count scenarios, Count items);
+
+}  // namespace oagrid::sched

@@ -1,0 +1,134 @@
+#include "sched/ragged_repartition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "sched/lower_bounds.hpp"
+#include "sched/throughput.hpp"
+
+namespace oagrid::sched {
+
+Seconds ragged_cluster_estimate(const platform::Cluster& cluster,
+                                std::span<const Count> chain_months) {
+  if (chain_months.empty()) return 0.0;
+  Count total = 0;
+  Count longest = 0;
+  for (const Count m : chain_months) {
+    OAGRID_REQUIRE(m >= 1, "chains need at least one month");
+    total += m;
+    longest = std::max(longest, m);
+  }
+  const double throughput =
+      best_throughput(cluster, static_cast<Count>(chain_months.size()));
+  if (throughput <= 0.0) return kInfiniteTime;
+  const double cap = 1.0 / min_main_time(cluster);
+  const double aggregate = static_cast<double>(total) / throughput;
+  const double chain = static_cast<double>(longest) / cap;
+  return std::max(aggregate, chain) + cluster.post_time();
+}
+
+namespace {
+
+Seconds evaluate(const platform::Grid& grid,
+                 std::span<const Count> months,
+                 const std::vector<ClusterId>& assignment,
+                 std::vector<Seconds>* estimates) {
+  std::vector<std::vector<Count>> per_cluster(
+      static_cast<std::size_t>(grid.cluster_count()));
+  for (std::size_t s = 0; s < assignment.size(); ++s)
+    per_cluster[static_cast<std::size_t>(assignment[s])].push_back(months[s]);
+  Seconds worst = 0.0;
+  if (estimates)
+    estimates->assign(static_cast<std::size_t>(grid.cluster_count()), 0.0);
+  for (ClusterId c = 0; c < grid.cluster_count(); ++c) {
+    const Seconds estimate = ragged_cluster_estimate(
+        grid.cluster(c), per_cluster[static_cast<std::size_t>(c)]);
+    if (estimates) (*estimates)[static_cast<std::size_t>(c)] = estimate;
+    worst = std::max(worst, estimate);
+  }
+  return worst;
+}
+
+void validate_inputs(const platform::Grid& grid,
+                     std::span<const Count> months) {
+  OAGRID_REQUIRE(grid.cluster_count() >= 1, "grid needs at least one cluster");
+  OAGRID_REQUIRE(!months.empty(), "need at least one scenario");
+  for (const Count m : months)
+    OAGRID_REQUIRE(m >= 1, "chains need at least one month");
+}
+
+}  // namespace
+
+RaggedRepartition ragged_repartition(const platform::Grid& grid,
+                                     std::span<const Count> months) {
+  validate_inputs(grid, months);
+
+  // Longest chains first: they constrain placement the most (LPT).
+  std::vector<std::size_t> order(months.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (months[a] != months[b]) return months[a] > months[b];
+    return a < b;
+  });
+
+  std::vector<std::vector<Count>> hosted(
+      static_cast<std::size_t>(grid.cluster_count()));
+  RaggedRepartition result;
+  result.assignment.assign(months.size(), 0);
+
+  for (const std::size_t s : order) {
+    ClusterId best = 0;
+    Seconds best_estimate = std::numeric_limits<Seconds>::infinity();
+    for (ClusterId c = 0; c < grid.cluster_count(); ++c) {
+      auto& set = hosted[static_cast<std::size_t>(c)];
+      set.push_back(months[s]);
+      const Seconds estimate = ragged_cluster_estimate(grid.cluster(c), set);
+      set.pop_back();
+      if (estimate < best_estimate) {
+        best_estimate = estimate;
+        best = c;
+      }
+    }
+    hosted[static_cast<std::size_t>(best)].push_back(months[s]);
+    result.assignment[s] = best;
+  }
+  result.makespan =
+      evaluate(grid, months, result.assignment, &result.cluster_estimates);
+  return result;
+}
+
+namespace {
+
+void enumerate_assignments(const platform::Grid& grid,
+                           std::span<const Count> months, std::size_t index,
+                           std::vector<ClusterId>& assignment,
+                           RaggedRepartition& best) {
+  if (index == months.size()) {
+    const Seconds ms = evaluate(grid, months, assignment, nullptr);
+    if (ms < best.makespan) {
+      best.makespan = ms;
+      best.assignment = assignment;
+    }
+    return;
+  }
+  for (ClusterId c = 0; c < grid.cluster_count(); ++c) {
+    assignment[index] = c;
+    enumerate_assignments(grid, months, index + 1, assignment, best);
+  }
+}
+
+}  // namespace
+
+RaggedRepartition ragged_repartition_brute_force(
+    const platform::Grid& grid, std::span<const Count> months) {
+  validate_inputs(grid, months);
+  RaggedRepartition best;
+  best.makespan = std::numeric_limits<Seconds>::infinity();
+  std::vector<ClusterId> assignment(months.size(), 0);
+  enumerate_assignments(grid, months, 0, assignment, best);
+  evaluate(grid, months, best.assignment, &best.cluster_estimates);
+  return best;
+}
+
+}  // namespace oagrid::sched

@@ -1,0 +1,48 @@
+#pragma once
+/// \file ragged_repartition.hpp
+/// \brief Algorithm 1 generalized to scenarios of unequal length.
+///
+/// The paper's performance vectors assume interchangeable scenarios (all NM
+/// months). With ragged chains, what a cluster costs depends on *which*
+/// scenarios it hosts, not just how many: the aggregate months determine the
+/// throughput-bound term and the longest chain the serialization bound
+/// (restart dependencies admit no parallelism within a scenario).
+///
+/// The estimate per cluster c hosting a set S of chain lengths m_s:
+///
+///   makespan(c, S) ~ max( sum_S m_s / thr_c(|S|),  max_S m_s / cap_c ) + TP
+///
+/// with thr_c the knapsack throughput for |S| groups and cap_c = 1/min T[G]
+/// the single-chain rate. Scenarios are placed longest-first (LPT-style),
+/// each on the cluster minimizing the resulting estimate — exactly
+/// Algorithm 1's structure with the richer cost.
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "platform/grid.hpp"
+
+namespace oagrid::sched {
+
+struct RaggedRepartition {
+  std::vector<ClusterId> assignment;  ///< scenario index -> cluster
+  std::vector<Seconds> cluster_estimates;
+  Seconds makespan = 0.0;  ///< max of the estimates
+};
+
+/// Estimated makespan of hosting `chain_months` (any order) on `cluster`.
+[[nodiscard]] Seconds ragged_cluster_estimate(
+    const platform::Cluster& cluster, std::span<const Count> chain_months);
+
+/// Longest-processing-time greedy placement over the grid. Throws if any
+/// chain is non-positive or the grid is empty.
+[[nodiscard]] RaggedRepartition ragged_repartition(
+    const platform::Grid& grid, std::span<const Count> months_per_scenario);
+
+/// Exhaustive optimum under the same estimate (test/bench oracle;
+/// exponential in the scenario count).
+[[nodiscard]] RaggedRepartition ragged_repartition_brute_force(
+    const platform::Grid& grid, std::span<const Count> months_per_scenario);
+
+}  // namespace oagrid::sched

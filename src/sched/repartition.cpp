@@ -1,0 +1,122 @@
+#include "sched/repartition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace oagrid::sched {
+namespace {
+
+void validate_inputs(std::span<const PerformanceVector> performance,
+                     Count scenarios) {
+  OAGRID_REQUIRE(!performance.empty(), "need at least one cluster");
+  OAGRID_REQUIRE(scenarios >= 1, "need at least one scenario");
+  for (const auto& vec : performance)
+    OAGRID_REQUIRE(static_cast<Count>(vec.size()) >= scenarios,
+                   "performance vector shorter than the scenario count");
+}
+
+}  // namespace
+
+Seconds repartition_makespan(std::span<const PerformanceVector> performance,
+                             std::span<const Count> dags_per_cluster) {
+  OAGRID_REQUIRE(performance.size() == dags_per_cluster.size(),
+                 "cluster count mismatch");
+  Seconds worst = 0.0;
+  for (std::size_t c = 0; c < performance.size(); ++c) {
+    const Count k = dags_per_cluster[c];
+    if (k <= 0) continue;
+    OAGRID_REQUIRE(static_cast<std::size_t>(k) <= performance[c].size(),
+                   "distribution exceeds performance vector length");
+    worst = std::max(worst, performance[c][static_cast<std::size_t>(k) - 1]);
+  }
+  return worst;
+}
+
+Repartition greedy_repartition(std::span<const PerformanceVector> performance,
+                               Count scenarios) {
+  validate_inputs(performance, scenarios);
+  const auto n = performance.size();
+  Repartition result;
+  result.dags_per_cluster.assign(n, 0);
+  result.assignment.reserve(static_cast<std::size_t>(scenarios));
+
+  for (Count dag = 0; dag < scenarios; ++dag) {
+    Seconds best = std::numeric_limits<Seconds>::infinity();
+    std::size_t best_cluster = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const auto next = static_cast<std::size_t>(result.dags_per_cluster[c]);
+      const Seconds candidate = performance[c][next];  // makespan of next+1 dags
+      if (candidate < best) {
+        best = candidate;
+        best_cluster = c;
+      }
+    }
+    ++result.dags_per_cluster[best_cluster];
+    result.assignment.push_back(static_cast<ClusterId>(best_cluster));
+  }
+  result.makespan = repartition_makespan(performance, result.dags_per_cluster);
+  return result;
+}
+
+namespace {
+
+void enumerate(std::span<const PerformanceVector> performance,
+               std::size_t cluster, Count remaining, std::vector<Count>& counts,
+               Repartition& best) {
+  if (cluster + 1 == performance.size()) {
+    counts[cluster] = remaining;
+    const Seconds ms = repartition_makespan(performance, counts);
+    if (ms < best.makespan) {
+      best.makespan = ms;
+      best.dags_per_cluster = counts;
+    }
+    counts[cluster] = 0;
+    return;
+  }
+  for (Count take = 0; take <= remaining; ++take) {
+    counts[cluster] = take;
+    enumerate(performance, cluster + 1, remaining - take, counts, best);
+  }
+  counts[cluster] = 0;
+}
+
+}  // namespace
+
+Repartition brute_force_repartition(
+    std::span<const PerformanceVector> performance, Count scenarios) {
+  validate_inputs(performance, scenarios);
+  Repartition best;
+  best.makespan = std::numeric_limits<Seconds>::infinity();
+  std::vector<Count> counts(performance.size(), 0);
+  enumerate(performance, 0, scenarios, counts, best);
+  // Synthesize an assignment consistent with the counts (cluster by cluster).
+  best.assignment.clear();
+  for (std::size_t c = 0; c < best.dags_per_cluster.size(); ++c)
+    for (Count k = 0; k < best.dags_per_cluster[c]; ++k)
+      best.assignment.push_back(static_cast<ClusterId>(c));
+  return best;
+}
+
+bool is_locally_optimal(std::span<const PerformanceVector> performance,
+                        const Repartition& repartition) {
+  const Seconds base = repartition_makespan(performance,
+                                            repartition.dags_per_cluster);
+  std::vector<Count> counts = repartition.dags_per_cluster;
+  for (std::size_t from = 0; from < counts.size(); ++from) {
+    if (counts[from] == 0) continue;
+    for (std::size_t to = 0; to < counts.size(); ++to) {
+      if (to == from) continue;
+      if (static_cast<std::size_t>(counts[to]) + 1 > performance[to].size())
+        continue;  // move impossible: vector too short
+      --counts[from];
+      ++counts[to];
+      const Seconds moved = repartition_makespan(performance, counts);
+      ++counts[from];
+      --counts[to];
+      if (moved < base - 1e-9) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace oagrid::sched

@@ -1,0 +1,59 @@
+#pragma once
+/// \file repartition.hpp
+/// \brief Scenario repartition across heterogeneous clusters — the paper's
+/// Algorithm 1 (§5) plus the oracle used to test its optimality claim.
+///
+/// Inputs are per-cluster *performance vectors*: performance[c][k-1] is the
+/// makespan of running k scenarios on cluster c (computed by whichever
+/// grouping heuristic is in force — step 2 of the Figure 9 protocol). The
+/// algorithm itself is pure; computing the vectors lives in sim::.
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace oagrid::sched {
+
+/// performance[k-1] = makespan of k scenarios on one cluster (k = 1..NS).
+using PerformanceVector = std::vector<Seconds>;
+
+/// A scenario-to-cluster distribution.
+struct Repartition {
+  std::vector<Count> dags_per_cluster;     ///< nbDags[c]
+  std::vector<ClusterId> assignment;       ///< scenario s -> cluster
+  Seconds makespan = 0.0;                  ///< max over clusters
+
+  [[nodiscard]] Count total_dags() const noexcept {
+    Count total = 0;
+    for (const Count d : dags_per_cluster) total += d;
+    return total;
+  }
+};
+
+/// Overall makespan of a distribution: the slowest cluster's makespan.
+[[nodiscard]] Seconds repartition_makespan(
+    std::span<const PerformanceVector> performance,
+    std::span<const Count> dags_per_cluster);
+
+/// Algorithm 1: each scenario in turn goes to the cluster whose makespan
+/// after receiving it is smallest (ties to the lowest cluster id, as the
+/// paper's pseudocode does with its strict '<'). Requires every vector to
+/// have at least `scenarios` entries.
+[[nodiscard]] Repartition greedy_repartition(
+    std::span<const PerformanceVector> performance, Count scenarios);
+
+/// Exhaustive optimum over all compositions of `scenarios` into
+/// performance.size() parts. Exponential in cluster count — test/bench
+/// oracle only (the paper argues n and NS are small, §5).
+[[nodiscard]] Repartition brute_force_repartition(
+    std::span<const PerformanceVector> performance, Count scenarios);
+
+/// The paper's local-optimality claim: "if we map a scenario onto another
+/// cluster, the total makespan cannot decrease". True when moving any single
+/// scenario between clusters does not reduce the makespan.
+[[nodiscard]] bool is_locally_optimal(
+    std::span<const PerformanceVector> performance,
+    const Repartition& repartition);
+
+}  // namespace oagrid::sched

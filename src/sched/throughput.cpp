@@ -1,0 +1,44 @@
+#include "sched/throughput.hpp"
+
+#include <algorithm>
+
+#include "knapsack/knapsack.hpp"
+
+namespace oagrid::sched {
+
+double best_throughput(const platform::Cluster& cluster, Count max_groups) {
+  OAGRID_REQUIRE(max_groups >= 0, "negative group cap");
+  if (max_groups == 0 || cluster.resources() < cluster.min_group()) return 0.0;
+  knapsack::Problem problem;
+  for (ProcCount g = cluster.min_group(); g <= cluster.max_group(); ++g)
+    problem.items.push_back(knapsack::Item{g, 1.0 / cluster.main_time(g)});
+  problem.capacity = cluster.resources();
+  problem.max_items = max_groups;
+  return knapsack::solve_dp(problem).value;
+}
+
+PerformanceVector throughput_performance_vector(
+    const platform::Cluster& cluster, Count max_scenarios, Count months) {
+  OAGRID_REQUIRE(max_scenarios >= 1, "need at least one scenario");
+  OAGRID_REQUIRE(months >= 1, "need at least one month");
+  PerformanceVector vec;
+  vec.reserve(static_cast<std::size_t>(max_scenarios));
+  Seconds prev = 0.0;
+  for (Count k = 1; k <= max_scenarios; ++k) {
+    const double throughput = best_throughput(cluster, k);
+    Seconds estimate = kInfiniteTime;
+    if (throughput > 0.0) {
+      const double mains = static_cast<double>(k * months);
+      // Steady-state main phase plus the last month's post task.
+      estimate = mains / throughput + cluster.post_time();
+    }
+    // Enforce monotonicity explicitly: adding a scenario cannot speed up the
+    // campaign (guards against rounding in the throughput DP).
+    estimate = std::max(estimate, prev);
+    vec.push_back(estimate);
+    prev = estimate;
+  }
+  return vec;
+}
+
+}  // namespace oagrid::sched

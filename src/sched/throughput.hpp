@@ -1,0 +1,30 @@
+#pragma once
+/// \file throughput.hpp
+/// \brief Steady-state throughput analysis — the analytic core behind the
+/// knapsack heuristic, exposed directly.
+///
+/// A set of groups with times T[g_i] completes sum_i 1/T[g_i] main tasks per
+/// second in steady state. best_throughput() maximizes that (the knapsack
+/// objective); throughput_performance_vector() turns it into the §5
+/// performance vectors *without simulation*: k scenarios of NM months are
+/// k*NM main tasks, so makespan ~ k*NM / throughput(k). bench_perfvector
+/// quantifies how close this cheap estimate gets to the simulated vectors.
+
+#include "appmodel/ensemble.hpp"
+#include "platform/cluster.hpp"
+#include "sched/repartition.hpp"
+
+namespace oagrid::sched {
+
+/// Maximum steady-state main-task throughput (tasks/second) achievable on
+/// `cluster` with at most `max_groups` groups. Zero when no group fits.
+[[nodiscard]] double best_throughput(const platform::Cluster& cluster,
+                                     Count max_groups);
+
+/// Analytic §5 performance vector: perf[k-1] ~ k * months /
+/// best_throughput(k) + the post tail of the final set. Monotone
+/// non-decreasing in k by construction.
+[[nodiscard]] PerformanceVector throughput_performance_vector(
+    const platform::Cluster& cluster, Count max_scenarios, Count months);
+
+}  // namespace oagrid::sched

@@ -1,0 +1,36 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace oagrid::sim {
+
+void Engine::schedule_at(Seconds when, Callback callback) {
+  OAGRID_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  OAGRID_REQUIRE(callback != nullptr, "null event callback");
+  queue_.push(Event{when, next_seq_++, std::move(callback)});
+}
+
+void Engine::schedule_after(Seconds delay, Callback callback) {
+  OAGRID_REQUIRE(delay >= 0.0, "negative event delay");
+  schedule_at(now_ + delay, std::move(callback));
+}
+
+std::size_t Engine::run() {
+  if (running_) throw std::logic_error("oagrid: Engine::run is not reentrant");
+  running_ = true;
+  stopped_ = false;
+  std::size_t executed = 0;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top returns a const ref; move the callback out via a
+    // local copy of the (cheap) wrapper before popping.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    event.callback();
+    ++executed;
+  }
+  running_ = false;
+  return executed;
+}
+
+}  // namespace oagrid::sim

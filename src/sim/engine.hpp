@@ -1,0 +1,62 @@
+#pragma once
+/// \file engine.hpp
+/// \brief Minimal discrete-event simulation core.
+///
+/// A classic event-calendar engine: callbacks scheduled at simulated times,
+/// executed in (time, insertion) order. Insertion order breaks ties so
+/// simulations are fully deterministic — crucial because the ensemble
+/// simulator generates many exactly-simultaneous events (synchronized group
+/// sets finish in lockstep).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace oagrid::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` at absolute simulated time `when` (>= now()).
+  void schedule_at(Seconds when, Callback callback);
+
+  /// Schedules `callback` `delay` seconds from now (delay >= 0).
+  void schedule_after(Seconds delay, Callback callback);
+
+  /// Current simulated time (0 before the first event).
+  [[nodiscard]] Seconds now() const noexcept { return now_; }
+
+  /// Processes events until the calendar drains or stop() is called.
+  /// Returns the number of events executed. Not reentrant.
+  std::size_t run();
+
+  /// Makes run() return after the current callback.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    Seconds when;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  bool running_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace oagrid::sim

@@ -1,0 +1,321 @@
+#include "sim/ensemble_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace oagrid::sim {
+namespace {
+
+struct Group {
+  ProcCount size = 0;
+  Seconds main_time = 0.0;
+  bool busy = false;
+  bool retired = false;
+  Seconds busy_seconds = 0.0;
+};
+
+struct Scenario {
+  MonthIndex months_done = 0;       ///< completed months
+  MonthIndex months_dispatched = 0; ///< started (or completed) months
+  bool running = false;
+};
+
+struct PostTask {
+  ScenarioId scenario = 0;
+  MonthIndex month = 0;
+};
+
+class EnsembleSimulation {
+ public:
+  EnsembleSimulation(const platform::Cluster& cluster,
+                     const sched::GroupSchedule& schedule,
+                     std::vector<MonthIndex> months_per_scenario,
+                     const SimOptions& options)
+      : cluster_(cluster),
+        schedule_(schedule),
+        months_limit_(std::move(months_per_scenario)),
+        options_(options),
+        rng_(options.perturbation.seed) {
+    OAGRID_REQUIRE(!months_limit_.empty(), "need at least one scenario");
+    total_months_ = 0;
+    for (const MonthIndex m : months_limit_) {
+      OAGRID_REQUIRE(m >= 1, "each scenario needs at least one month");
+      total_months_ += m;
+    }
+    schedule_.validate(cluster_);
+    for (const ProcCount size : schedule_.group_sizes)
+      groups_.push_back(Group{size, cluster_.main_time(size), false, false, 0.0});
+    scenarios_.resize(months_limit_.size());
+    for (ScenarioId s = 0; s < scenario_count(); ++s) fifo_.push_back(s);
+    for (ProcCount w = 0; w < schedule_.post_pool; ++w)
+      free_workers_.push_back(next_worker_id_++);
+    posts_enabled_ = schedule_.post_policy == sched::PostPolicy::kPoolThenRetired;
+  }
+
+  SimResult run() {
+    dispatch_mains();
+    result_.events = engine_.run();
+    result_.makespan = std::max(result_.main_phase_end, last_post_end_);
+    double busy = 0.0;
+    double alloc = 0.0;
+    for (const Group& g : groups_) {
+      busy += g.busy_seconds * static_cast<double>(g.size);
+      alloc += static_cast<double>(g.size);
+    }
+    result_.group_utilization =
+        result_.makespan > 0.0 ? busy / (alloc * result_.makespan) : 0.0;
+    return std::move(result_);
+  }
+
+ private:
+  Count total_months() const { return total_months_; }
+
+  ScenarioId scenario_count() const {
+    return static_cast<ScenarioId>(months_limit_.size());
+  }
+
+  bool scenario_available(ScenarioId s) const {
+    const Scenario& sc = scenarios_[static_cast<std::size_t>(s)];
+    return !sc.running &&
+           sc.months_dispatched < months_limit_[static_cast<std::size_t>(s)];
+  }
+
+  /// Picks the next scenario per the dispatch rule; -1 when none available.
+  ScenarioId pick_scenario() {
+    switch (options_.dispatch) {
+      case DispatchRule::kLeastAdvanced: {
+        ScenarioId best = -1;
+        for (ScenarioId s = 0; s < scenario_count(); ++s) {
+          if (!scenario_available(s)) continue;
+          if (best < 0 || scenarios_[static_cast<std::size_t>(s)].months_done <
+                              scenarios_[static_cast<std::size_t>(best)].months_done)
+            best = s;
+        }
+        return best;
+      }
+      case DispatchRule::kRoundRobin: {
+        for (Count step = 0; step < scenario_count(); ++step) {
+          const auto s = static_cast<ScenarioId>(
+              (rr_cursor_ + step) % scenario_count());
+          if (scenario_available(s)) {
+            rr_cursor_ = static_cast<Count>(s) + 1;
+            return s;
+          }
+        }
+        return -1;
+      }
+      case DispatchRule::kFifo: {
+        for (const ScenarioId s : fifo_)
+          if (scenario_available(s)) return s;
+        return -1;
+      }
+    }
+    return -1;
+  }
+
+  /// Fastest idle non-retired group (smallest main time, then index); -1
+  /// when every group is busy or retired.
+  int pick_idle_group() const {
+    int best = -1;
+    for (int g = 0; g < static_cast<int>(groups_.size()); ++g) {
+      const Group& group = groups_[static_cast<std::size_t>(g)];
+      if (group.busy || group.retired) continue;
+      if (best < 0 ||
+          group.main_time < groups_[static_cast<std::size_t>(best)].main_time)
+        best = g;
+    }
+    return best;
+  }
+
+  /// Pairs available scenarios with idle groups until neither remains.
+  void dispatch_mains() {
+    for (;;) {
+      const int g = pick_idle_group();
+      if (g < 0) break;
+      const ScenarioId s = pick_scenario();
+      if (s < 0) break;
+      start_main(g, s);
+    }
+    maybe_retire_idle_groups();
+  }
+
+  /// Applies the multiplicative duration jitter (1.0 when inactive).
+  Seconds jittered(Seconds base) {
+    const double sigma = options_.perturbation.duration_jitter;
+    if (sigma <= 0.0) return base;
+    return base * std::exp(rng_.normal(0.0, sigma));
+  }
+
+  void start_main(int g, ScenarioId s) {
+    Group& group = groups_[static_cast<std::size_t>(g)];
+    Scenario& scenario = scenarios_[static_cast<std::size_t>(s)];
+    const MonthIndex month = scenario.months_dispatched;
+    ++scenario.months_dispatched;
+    ++months_dispatched_total_;
+    scenario.running = true;
+    group.busy = true;
+    const Seconds duration = jittered(group.main_time);
+    const bool fails =
+        options_.perturbation.failure_probability > 0.0 &&
+        rng_.uniform() < options_.perturbation.failure_probability;
+    group.busy_seconds += duration;
+    const Seconds start = engine_.now();
+    const Seconds end = start + duration;
+    // Failed attempts occupy the group but are not recorded: the trace
+    // documents successful executions (its invariants assume uniqueness).
+    if (options_.capture_trace && !fails)
+      result_.trace.record(
+          TraceEntry{UnitKind::kGroup, g, s, month, start, end});
+    engine_.schedule_at(
+        end, [this, g, s, month, fails] { finish_main(g, s, month, fails); });
+  }
+
+  void finish_main(int g, ScenarioId s, MonthIndex month, bool failed) {
+    Group& group = groups_[static_cast<std::size_t>(g)];
+    Scenario& scenario = scenarios_[static_cast<std::size_t>(s)];
+    group.busy = false;
+    scenario.running = false;
+
+    if (failed) {
+      // The month's output is lost; roll the dispatch state back so the
+      // month re-runs (restart-file recovery).
+      ++result_.retries;
+      --scenario.months_dispatched;
+      --months_dispatched_total_;
+    } else {
+      ++scenario.months_done;
+      ++months_done_total_;
+      ++result_.mains_executed;
+      result_.main_phase_end = std::max(result_.main_phase_end, engine_.now());
+      post_queue_.push_back(PostTask{s, month});
+      if (options_.progress_every > 0 && options_.on_progress &&
+          months_done_total_ % options_.progress_every == 0)
+        options_.on_progress(months_done_total_, engine_.now());
+    }
+
+    // FIFO rule: the scenario re-enters the queue at the back.
+    fifo_.erase(std::find(fifo_.begin(), fifo_.end(), s));
+    fifo_.push_back(s);
+
+    if (months_done_total_ == total_months()) on_all_mains_done();
+    dispatch_mains();
+    dispatch_posts();
+  }
+
+  void on_all_mains_done() {
+    if (schedule_.post_policy == sched::PostPolicy::kAllAtEnd) {
+      posts_enabled_ = true;
+      // The whole cluster turns into post workers (paper's Improvement 2:
+      // "leave all the post-processing at the end").
+      for (ProcCount w = 0; w < cluster_.resources(); ++w)
+        free_workers_.push_back(next_worker_id_++);
+    }
+  }
+
+  void maybe_retire_idle_groups() {
+    if (months_dispatched_total_ < total_months()) return;
+    for (auto& group : groups_) {
+      if (group.busy || group.retired) continue;
+      group.retired = true;
+      if (schedule_.post_policy == sched::PostPolicy::kPoolThenRetired)
+        for (ProcCount w = 0; w < group.size; ++w)
+          free_workers_.push_back(next_worker_id_++);
+    }
+    dispatch_posts();
+  }
+
+  void dispatch_posts() {
+    if (!posts_enabled_) return;
+    while (!post_queue_.empty() && !free_workers_.empty()) {
+      const PostTask post = post_queue_.front();
+      post_queue_.pop_front();
+      const int worker = free_workers_.front();
+      free_workers_.erase(free_workers_.begin());
+      const Seconds start = engine_.now();
+      const Seconds end = start + jittered(cluster_.post_time());
+      if (options_.capture_trace)
+        result_.trace.record(TraceEntry{UnitKind::kPostWorker, worker,
+                                        post.scenario, post.month, start, end});
+      engine_.schedule_at(end, [this, worker] { finish_post(worker); });
+    }
+  }
+
+  void finish_post(int worker) {
+    ++result_.posts_executed;
+    last_post_end_ = std::max(last_post_end_, engine_.now());
+    free_workers_.push_back(worker);
+    dispatch_posts();
+  }
+
+  const platform::Cluster& cluster_;
+  const sched::GroupSchedule& schedule_;
+  std::vector<MonthIndex> months_limit_;
+  Count total_months_ = 0;
+  SimOptions options_;
+  Rng rng_;
+
+  Engine engine_;
+  std::vector<Group> groups_;
+  std::vector<Scenario> scenarios_;
+  std::deque<ScenarioId> fifo_;
+  Count rr_cursor_ = 0;
+
+  Count months_dispatched_total_ = 0;
+  Count months_done_total_ = 0;
+
+  std::deque<PostTask> post_queue_;
+  std::vector<int> free_workers_;
+  int next_worker_id_ = 0;
+  bool posts_enabled_ = false;
+  Seconds last_post_end_ = 0.0;
+
+  SimResult result_;
+};
+
+}  // namespace
+
+const char* to_string(DispatchRule rule) noexcept {
+  switch (rule) {
+    case DispatchRule::kLeastAdvanced: return "least-advanced";
+    case DispatchRule::kRoundRobin: return "round-robin";
+    case DispatchRule::kFifo: return "fifo";
+  }
+  return "?";
+}
+
+SimResult simulate_ensemble(const platform::Cluster& cluster,
+                            const sched::GroupSchedule& schedule,
+                            const appmodel::Ensemble& ensemble,
+                            const SimOptions& options) {
+  ensemble.validate();
+  const std::vector<MonthIndex> months(
+      static_cast<std::size_t>(ensemble.scenarios),
+      static_cast<MonthIndex>(ensemble.months));
+  EnsembleSimulation simulation(cluster, schedule, months, options);
+  return simulation.run();
+}
+
+SimResult simulate_ensemble(const platform::Cluster& cluster,
+                            const sched::GroupSchedule& schedule,
+                            const std::vector<MonthIndex>& months_per_scenario,
+                            const SimOptions& options) {
+  EnsembleSimulation simulation(cluster, schedule, months_per_scenario,
+                                options);
+  return simulation.run();
+}
+
+SimResult simulate_with_heuristic(const platform::Cluster& cluster,
+                                  sched::Heuristic heuristic,
+                                  const appmodel::Ensemble& ensemble,
+                                  const SimOptions& options) {
+  const sched::GroupSchedule schedule =
+      sched::make_schedule(heuristic, cluster, ensemble);
+  return simulate_ensemble(cluster, schedule, ensemble, options);
+}
+
+}  // namespace oagrid::sim

@@ -1,0 +1,33 @@
+#pragma once
+/// \file exporters.hpp
+/// \brief Publication-quality exports: SVG Gantt charts of traces and
+/// Graphviz DOT of workflow DAGs — the visual artifacts a release of this
+/// system would ship alongside its numbers.
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/dag.hpp"
+#include "sim/trace.hpp"
+
+namespace oagrid::sim {
+
+struct SvgOptions {
+  int width = 1000;         ///< drawing width in px (plus margins)
+  int row_height = 18;      ///< px per unit row
+  std::string title;        ///< optional chart title
+};
+
+/// Writes the trace as a standalone SVG Gantt: one row per unit (groups on
+/// top, post workers below), one rect per execution, colored by scenario,
+/// with a time axis. Throws std::invalid_argument on an empty trace.
+void write_svg_gantt(std::ostream& out, const Trace& trace,
+                     const SvgOptions& options = {});
+
+/// Writes a frozen DAG in Graphviz DOT: moldable tasks as double octagons
+/// with their processor range, rigid tasks as boxes, edges labeled with
+/// their data volume when nonzero.
+void write_dot(std::ostream& out, const dag::Dag& graph,
+               const std::string& name = "workflow");
+
+}  // namespace oagrid::sim

@@ -1,0 +1,40 @@
+#include "sim/grid_sim.hpp"
+
+#include "common/parallel.hpp"
+#include "sim/perf_vector.hpp"
+
+namespace oagrid::sim {
+
+GridSimResult simulate_grid(const platform::Grid& grid,
+                            const appmodel::Ensemble& ensemble,
+                            sched::Heuristic heuristic, std::size_t threads) {
+  ensemble.validate();
+  OAGRID_REQUIRE(grid.cluster_count() >= 1, "grid needs at least one cluster");
+
+  GridSimResult result;
+  result.performance.resize(static_cast<std::size_t>(grid.cluster_count()));
+  parallel_for(
+      0, static_cast<std::size_t>(grid.cluster_count()),
+      [&](std::size_t c) {
+        result.performance[c] =
+            performance_vector(grid.cluster(static_cast<ClusterId>(c)),
+                               ensemble.scenarios, ensemble.months, heuristic);
+      },
+      threads);
+
+  result.repartition =
+      sched::greedy_repartition(result.performance, ensemble.scenarios);
+
+  result.cluster_makespans.assign(
+      static_cast<std::size_t>(grid.cluster_count()), 0.0);
+  for (std::size_t c = 0; c < result.performance.size(); ++c) {
+    const Count k = result.repartition.dags_per_cluster[c];
+    if (k > 0)
+      result.cluster_makespans[c] =
+          result.performance[c][static_cast<std::size_t>(k) - 1];
+  }
+  result.makespan = result.repartition.makespan;
+  return result;
+}
+
+}  // namespace oagrid::sim

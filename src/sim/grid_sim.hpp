@@ -1,0 +1,29 @@
+#pragma once
+/// \file grid_sim.hpp
+/// \brief Whole-grid execution: performance vectors, Algorithm-1
+/// repartition, per-cluster simulation (§5-6 of the paper).
+
+#include "appmodel/ensemble.hpp"
+#include "platform/grid.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/repartition.hpp"
+
+namespace oagrid::sim {
+
+struct GridSimResult {
+  std::vector<sched::PerformanceVector> performance;  ///< one per cluster
+  sched::Repartition repartition;
+  std::vector<Seconds> cluster_makespans;  ///< 0 for clusters given no work
+  Seconds makespan = 0.0;
+};
+
+/// Full §5 flow in-process: (2) each cluster computes its performance vector
+/// under `heuristic`, (4) Algorithm 1 distributes the scenarios, (6) each
+/// cluster's makespan is read off its vector; the grid makespan is the max.
+/// Set `threads` > 1 to compute the per-cluster vectors concurrently.
+[[nodiscard]] GridSimResult simulate_grid(const platform::Grid& grid,
+                                          const appmodel::Ensemble& ensemble,
+                                          sched::Heuristic heuristic,
+                                          std::size_t threads = 1);
+
+}  // namespace oagrid::sim

@@ -1,0 +1,183 @@
+#include "sim/local_search.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "knapsack/knapsack.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/ensemble_sim.hpp"
+
+namespace oagrid::sim {
+namespace {
+
+using Sizes = std::vector<ProcCount>;
+
+Sizes canonical(Sizes sizes) {
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes;
+}
+
+/// All neighbors of a multiset under the six moves, canonicalized and
+/// deduplicated. Feasibility (resource budget, group bounds, cardinality) is
+/// enforced here.
+std::vector<Sizes> neighbors(const Sizes& sizes, const platform::Cluster& cluster,
+                             Count max_groups) {
+  std::vector<Sizes> out;
+  const ProcCount used =
+      std::accumulate(sizes.begin(), sizes.end(), ProcCount{0});
+  const ProcCount spare = cluster.resources() - used;
+  const ProcCount lo = cluster.min_group();
+  const ProcCount hi = cluster.max_group();
+
+  auto push = [&](Sizes candidate) {
+    if (candidate.empty()) return;
+    out.push_back(canonical(std::move(candidate)));
+  };
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    // Grow / shrink group i.
+    if (sizes[i] < hi && spare >= 1) {
+      Sizes c = sizes;
+      ++c[i];
+      push(std::move(c));
+    }
+    if (sizes[i] > lo) {
+      Sizes c = sizes;
+      --c[i];
+      push(std::move(c));
+    }
+    // Split group i into two admissible halves.
+    if (sizes[i] >= 2 * lo &&
+        static_cast<Count>(sizes.size()) + 1 <= max_groups) {
+      const ProcCount a = sizes[i] / 2;
+      const ProcCount b = sizes[i] - a;
+      if (a >= lo && b >= lo && a <= hi && b <= hi) {
+        Sizes c = sizes;
+        c[i] = a;
+        c.push_back(b);
+        push(std::move(c));
+      }
+    }
+    // Remove group i (its processors go back to the pool).
+    if (sizes.size() > 1) {
+      Sizes c = sizes;
+      c.erase(c.begin() + static_cast<long>(i));
+      push(std::move(c));
+    }
+    // Merge groups i and j, and transfer one processor between them (the
+    // composite of shrink+grow — needed because the intermediate single
+    // moves often sit in a valley).
+    for (std::size_t j = 0; j < sizes.size(); ++j) {
+      if (j == i) continue;
+      if (j > i && sizes[i] + sizes[j] <= hi) {
+        Sizes c = sizes;
+        c[i] = sizes[i] + sizes[j];
+        c.erase(c.begin() + static_cast<long>(j));
+        push(std::move(c));
+      }
+      if (sizes[i] > lo && sizes[j] < hi) {
+        Sizes c = sizes;
+        --c[i];
+        ++c[j];
+        push(std::move(c));
+      }
+    }
+  }
+  // Add a fresh minimal group from the pool.
+  if (spare >= lo && static_cast<Count>(sizes.size()) + 1 <= max_groups) {
+    Sizes c = sizes;
+    c.push_back(lo);
+    push(std::move(c));
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+LocalSearchResult local_search_grouping(const platform::Cluster& cluster,
+                                        const appmodel::Ensemble& ensemble,
+                                        const LocalSearchOptions& options) {
+  ensemble.validate();
+  OAGRID_REQUIRE(options.max_accepted_moves >= 0, "negative move budget");
+
+  std::map<Sizes, Seconds> memo;
+  LocalSearchResult result;
+  auto evaluate = [&](const Sizes& sizes) -> Seconds {
+    const auto it = memo.find(sizes);
+    if (it != memo.end()) return it->second;
+    sched::GroupSchedule schedule;
+    schedule.group_sizes = sizes;
+    schedule.post_pool =
+        cluster.resources() -
+        std::accumulate(sizes.begin(), sizes.end(), ProcCount{0});
+    schedule.post_policy = sched::PostPolicy::kPoolThenRetired;
+    const Seconds makespan =
+        simulate_ensemble(cluster, schedule, ensemble).makespan;
+    ++result.evaluations;
+    memo.emplace(sizes, makespan);
+    return makespan;
+  };
+
+  // Starting points: the knapsack solution with cardinality capped at every
+  // k in [1, NS] (deduplicated — caps beyond the natural group count repeat).
+  std::vector<Sizes> starts;
+  for (Count k = 1; k <= ensemble.scenarios; ++k) {
+    knapsack::Problem problem;
+    for (ProcCount g = cluster.min_group(); g <= cluster.max_group(); ++g)
+      problem.items.push_back(knapsack::Item{g, 1.0 / cluster.main_time(g)});
+    problem.capacity = cluster.resources();
+    problem.max_items = k;
+    const knapsack::Solution solution = knapsack::solve_dp(problem);
+    Sizes sizes;
+    for (std::size_t i = 0; i < solution.counts.size(); ++i)
+      for (Count c = 0; c < solution.counts[i]; ++c)
+        sizes.push_back(cluster.min_group() + static_cast<ProcCount>(i));
+    if (sizes.empty()) continue;
+    starts.push_back(canonical(std::move(sizes)));
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+  OAGRID_REQUIRE(!starts.empty(), "no feasible grouping exists");
+
+  Sizes global_best;
+  Seconds global_makespan = kInfiniteTime;
+  for (const Sizes& start : starts) {
+    Sizes current = start;
+    Seconds current_makespan = evaluate(current);
+    for (int step = 0; step < options.max_accepted_moves; ++step) {
+      Sizes best_neighbor;
+      Seconds best_makespan = current_makespan;
+      for (const Sizes& candidate :
+           neighbors(current, cluster, ensemble.scenarios)) {
+        if (result.evaluations >= options.max_evaluations) break;
+        const Seconds makespan = evaluate(candidate);
+        if (makespan < best_makespan - 1e-9) {
+          best_makespan = makespan;
+          best_neighbor = candidate;
+        }
+      }
+      if (best_neighbor.empty()) break;  // local optimum (or budget dry)
+      current = std::move(best_neighbor);
+      current_makespan = best_makespan;
+      ++result.accepted_moves;
+    }
+    if (current_makespan < global_makespan) {
+      global_makespan = current_makespan;
+      global_best = current;
+    }
+    if (result.evaluations >= options.max_evaluations) break;
+  }
+
+  result.best.group_sizes = global_best;
+  result.best.post_pool =
+      cluster.resources() -
+      std::accumulate(global_best.begin(), global_best.end(), ProcCount{0});
+  result.best.post_policy = sched::PostPolicy::kPoolThenRetired;
+  result.makespan = global_makespan;
+  return result;
+}
+
+}  // namespace oagrid::sim

@@ -1,0 +1,72 @@
+#include "sim/optimal_search.hpp"
+
+#include <stdexcept>
+
+#include "sim/ensemble_sim.hpp"
+
+namespace oagrid::sim {
+namespace {
+
+/// Enumerates multisets as non-increasing size sequences; `visit` is called
+/// with the current sizes for every non-empty candidate.
+template <typename Visit>
+void enumerate(const platform::Cluster& cluster, ProcCount size,
+               ProcCount budget, Count groups_left,
+               std::vector<ProcCount>& sizes, const Visit& visit) {
+  if (!sizes.empty()) visit(sizes);
+  if (groups_left == 0) return;
+  for (ProcCount g = size; g >= cluster.min_group(); --g) {
+    if (g > budget) continue;
+    sizes.push_back(g);
+    enumerate(cluster, g, budget - g, groups_left - 1, sizes, visit);
+    sizes.pop_back();
+  }
+}
+
+}  // namespace
+
+std::size_t count_grouping_candidates(const platform::Cluster& cluster,
+                                      Count max_groups) {
+  std::size_t count = 0;
+  std::vector<ProcCount> sizes;
+  enumerate(cluster, cluster.max_group(), cluster.resources(), max_groups,
+            sizes, [&](const std::vector<ProcCount>&) { ++count; });
+  return count;
+}
+
+GroupingSearchResult optimal_grouping_search(const platform::Cluster& cluster,
+                                             const appmodel::Ensemble& ensemble,
+                                             sched::PostPolicy policy,
+                                             std::size_t max_candidates) {
+  ensemble.validate();
+  const std::size_t candidates =
+      count_grouping_candidates(cluster, ensemble.scenarios);
+  if (candidates > max_candidates)
+    throw std::invalid_argument(
+        "oagrid: grouping search space has " + std::to_string(candidates) +
+        " candidates, above the cap of " + std::to_string(max_candidates));
+
+  GroupingSearchResult result;
+  std::vector<ProcCount> sizes;
+  enumerate(cluster, cluster.max_group(), cluster.resources(),
+            ensemble.scenarios, sizes, [&](const std::vector<ProcCount>& gs) {
+              sched::GroupSchedule schedule;
+              schedule.group_sizes = gs;
+              schedule.post_policy = policy;
+              schedule.post_pool =
+                  policy == sched::PostPolicy::kPoolThenRetired
+                      ? cluster.resources() - schedule.main_resources()
+                      : 0;
+              const SimResult sim =
+                  simulate_ensemble(cluster, schedule, ensemble);
+              ++result.evaluated;
+              if (sim.makespan < result.makespan) {
+                result.makespan = sim.makespan;
+                result.best = std::move(schedule);
+              }
+            });
+  OAGRID_REQUIRE(result.evaluated > 0, "no feasible grouping exists");
+  return result;
+}
+
+}  // namespace oagrid::sim

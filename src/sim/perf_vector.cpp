@@ -1,0 +1,21 @@
+#include "sim/perf_vector.hpp"
+
+#include "sim/ensemble_sim.hpp"
+
+namespace oagrid::sim {
+
+sched::PerformanceVector performance_vector(const platform::Cluster& cluster,
+                                            Count max_scenarios, Count months,
+                                            sched::Heuristic heuristic) {
+  OAGRID_REQUIRE(max_scenarios >= 1, "need at least one scenario");
+  sched::PerformanceVector vec;
+  vec.reserve(static_cast<std::size_t>(max_scenarios));
+  for (Count k = 1; k <= max_scenarios; ++k) {
+    const appmodel::Ensemble ensemble{k, months};
+    vec.push_back(
+        simulate_with_heuristic(cluster, heuristic, ensemble).makespan);
+  }
+  return vec;
+}
+
+}  // namespace oagrid::sim

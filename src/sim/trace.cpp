@@ -1,0 +1,121 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace oagrid::sim {
+namespace {
+
+std::string unit_label(UnitKind kind, int unit) {
+  return (kind == UnitKind::kGroup ? "G" : "P") + std::to_string(unit);
+}
+
+}  // namespace
+
+std::string Trace::verify() const {
+  // Per-unit overlap check.
+  std::map<std::pair<UnitKind, int>, std::vector<const TraceEntry*>> by_unit;
+  for (const auto& e : entries_) {
+    if (e.end < e.start) return "entry with end < start";
+    by_unit[{e.unit_kind, e.unit}].push_back(&e);
+  }
+  for (auto& [unit, list] : by_unit) {
+    std::sort(list.begin(), list.end(),
+              [](const TraceEntry* a, const TraceEntry* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 1; i < list.size(); ++i)
+      if (list[i]->start < list[i - 1]->end - 1e-9) {
+        std::ostringstream msg;
+        msg << "overlap on " << unit_label(unit.first, unit.second) << " at t="
+            << list[i]->start;
+        return msg.str();
+      }
+  }
+
+  // Per-scenario ordering: months in order, post after its main.
+  std::map<ScenarioId, std::map<MonthIndex, const TraceEntry*>> mains, posts;
+  for (const auto& e : entries_) {
+    auto& bucket = e.unit_kind == UnitKind::kGroup ? mains : posts;
+    if (!bucket[e.scenario].emplace(e.month, &e).second)
+      return "duplicate execution of scenario " + std::to_string(e.scenario) +
+             " month " + std::to_string(e.month);
+  }
+  for (const auto& [scenario, months] : mains) {
+    const TraceEntry* prev = nullptr;
+    for (const auto& [month, entry] : months) {
+      if (prev && entry->start < prev->end - 1e-9)
+        return "scenario " + std::to_string(scenario) + " month " +
+               std::to_string(month) + " started before its predecessor ended";
+      prev = entry;
+    }
+  }
+  for (const auto& [scenario, months] : posts) {
+    for (const auto& [month, entry] : months) {
+      const auto scenario_mains = mains.find(scenario);
+      if (scenario_mains == mains.end()) return "post without any main";
+      const auto main_entry = scenario_mains->second.find(month);
+      if (main_entry == scenario_mains->second.end())
+        return "post without its main";
+      if (entry->start < main_entry->second->end - 1e-9)
+        return "post of scenario " + std::to_string(scenario) + " month " +
+               std::to_string(month) + " started before its main ended";
+    }
+  }
+  return {};
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "unit_kind,unit,scenario,month,start,end\n";
+  for (const auto& e : entries_)
+    os << (e.unit_kind == UnitKind::kGroup ? "group" : "post") << ',' << e.unit
+       << ',' << e.scenario << ',' << e.month << ',' << e.start << ',' << e.end
+       << '\n';
+}
+
+std::string Trace::render_gantt(int width) const {
+  if (entries_.empty()) return "(empty trace)\n";
+  width = std::max(width, 10);
+
+  Seconds horizon = 0.0;
+  for (const auto& e : entries_) horizon = std::max(horizon, e.end);
+  if (horizon <= 0.0) horizon = 1.0;
+
+  // Stable unit ordering: groups first, then post workers.
+  std::map<std::pair<int, int>, std::string> rows;  // (kind rank, unit) -> row
+  auto row_of = [&](const TraceEntry& e) -> std::string& {
+    const int rank = e.unit_kind == UnitKind::kGroup ? 0 : 1;
+    auto [it, inserted] = rows.try_emplace(
+        {rank, e.unit}, std::string(static_cast<std::size_t>(width), '.'));
+    (void)inserted;
+    return it->second;
+  };
+
+  for (const auto& e : entries_) {
+    std::string& row = row_of(e);
+    auto col = [&](Seconds t) {
+      return std::clamp<int>(
+          static_cast<int>(std::floor(t / horizon * width)), 0, width - 1);
+    };
+    const int c0 = col(e.start);
+    const int c1 = std::max(c0, col(e.end - 1e-9));
+    const char digit = "0123456789abcdef"[e.scenario % 16];
+    const char glyph = e.unit_kind == UnitKind::kGroup
+                           ? static_cast<char>(std::toupper(digit))
+                           : digit;
+    for (int c = c0; c <= c1; ++c) row[static_cast<std::size_t>(c)] = glyph;
+  }
+
+  std::ostringstream out;
+  out << "time 0 .. " << horizon << " s (one column ~ " << horizon / width
+      << " s); rows: G = main-task group, P = post worker; glyph = scenario\n";
+  for (const auto& [key, row] : rows) {
+    out << (key.first == 0 ? 'G' : 'P') << key.second << '\t' << row << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace oagrid::sim

@@ -1,0 +1,60 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Execution traces and Gantt rendering.
+///
+/// Every simulated task execution is recorded as a TraceEntry; the trace is
+/// the ground truth the tests check invariants on (no overlap on a unit,
+/// dependencies respected) and the source of the ASCII Gantt charts the
+/// Figure 3-6 bench prints.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace oagrid::sim {
+
+/// What executed.
+enum class UnitKind {
+  kGroup,       ///< a multiprocessor group running a main task
+  kPostWorker,  ///< a single processor running a post task
+};
+
+struct TraceEntry {
+  UnitKind unit_kind = UnitKind::kGroup;
+  int unit = 0;             ///< group index or post-worker index
+  ScenarioId scenario = 0;
+  MonthIndex month = 0;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+};
+
+class Trace {
+ public:
+  void record(TraceEntry entry) { entries_.push_back(entry); }
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+
+  /// Checks structural invariants; returns an empty string when clean, else
+  /// a description of the first violation:
+  ///  * no two entries on the same unit overlap in time;
+  ///  * each scenario's months execute in order (main m+1 starts after main
+  ///    m ends) and each post starts after its main ends.
+  [[nodiscard]] std::string verify() const;
+
+  /// CSV export: unit_kind,unit,scenario,month,start,end.
+  void write_csv(std::ostream& os) const;
+
+  /// ASCII Gantt: one row per unit, time compressed to `width` columns.
+  /// Main tasks render as the scenario's hex digit, posts as lowercase.
+  [[nodiscard]] std::string render_gantt(int width = 100) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace oagrid::sim

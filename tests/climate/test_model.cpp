@@ -1,0 +1,132 @@
+#include "climate/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oagrid::climate {
+namespace {
+
+ModelParams small_params() {
+  ModelParams p;
+  p.nlat = 12;
+  p.nlon = 24;
+  p.substeps = 10;
+  return p;
+}
+
+TEST(CoupledModel, ValidatesParams) {
+  ModelParams p = small_params();
+  p.substeps = 0;
+  EXPECT_THROW(CoupledModel{p}, std::invalid_argument);
+  p = small_params();
+  p.cloud_feedback = p.olr_b;  // runaway
+  EXPECT_THROW(CoupledModel{p}, std::invalid_argument);
+  p = small_params();
+  p.atm_heat_capacity = 0;
+  EXPECT_THROW(CoupledModel{p}, std::invalid_argument);
+}
+
+TEST(CoupledModel, DeterministicAcrossRuns) {
+  CoupledModel a(small_params()), b(small_params());
+  for (int m = 0; m < 6; ++m) {
+    const MonthlyState sa = a.step();
+    const MonthlyState sb = b.step();
+    EXPECT_DOUBLE_EQ(sa.global_mean_atm, sb.global_mean_atm);
+    EXPECT_DOUBLE_EQ(sa.global_mean_ocn, sb.global_mean_ocn);
+  }
+  EXPECT_EQ(a.atmosphere(), b.atmosphere());
+}
+
+TEST(CoupledModel, ThreadCountDoesNotChangeResults) {
+  // The parallel atmosphere update must be bitwise thread-count independent
+  // (rows are independent within a substep).
+  CoupledModel serial(small_params()), parallel(small_params());
+  for (int m = 0; m < 4; ++m) {
+    serial.step(1);
+    parallel.step(4);
+  }
+  EXPECT_EQ(serial.atmosphere(), parallel.atmosphere());
+  EXPECT_EQ(serial.ocean(), parallel.ocean());
+}
+
+TEST(CoupledModel, EquilibratesToPlausibleClimate) {
+  CoupledModel model(small_params());
+  MonthlyState state;
+  for (int m = 0; m < 240; ++m) state = model.step();
+  // Global mean surface air temperature in a habitable band.
+  EXPECT_GT(state.global_mean_atm, 5.0);
+  EXPECT_LT(state.global_mean_atm, 25.0);
+  // Poles colder than tropics.
+  const Field& atm = model.atmosphere();
+  const Region tropics{"tropics", -23.5, 23.5, -180, 180};
+  const Region arctic{"arctic", 66.5, 90, -180, 180};
+  EXPECT_GT(atm.regional_mean(tropics), atm.regional_mean(arctic) + 10.0);
+  // Some (not all) of the high-latitude ocean is frozen.
+  EXPECT_GT(state.ice_fraction, 0.0);
+  EXPECT_LT(state.ice_fraction, 0.5);
+}
+
+TEST(CoupledModel, GreenhouseForcingWarms) {
+  CoupledModel control(small_params()), forced(small_params());
+  for (int m = 0; m < 120; ++m) control.step();
+  forced.set_ghg_forcing(3.7);  // ~CO2 doubling
+  for (int m = 0; m < 120; ++m) forced.step();
+  const double warming = forced.atmosphere().weighted_mean() -
+                         control.atmosphere().weighted_mean();
+  EXPECT_GT(warming, 0.5);
+  EXPECT_LT(warming, 8.0);
+}
+
+TEST(CoupledModel, CloudFeedbackRaisesSensitivity) {
+  // The paper's ensemble premise: cloud parametrization controls the climate
+  // response to greenhouse gases.
+  auto warming_with = [](double feedback) {
+    ModelParams p = small_params();
+    p.cloud_feedback = feedback;
+    CoupledModel model(p);
+    for (int m = 0; m < 120; ++m) model.step();
+    const double before = model.atmosphere().weighted_mean();
+    model.set_ghg_forcing(3.7);
+    for (int m = 0; m < 120; ++m) model.step();
+    return model.atmosphere().weighted_mean() - before;
+  };
+  const double low = warming_with(0.0);
+  const double high = warming_with(0.9);
+  EXPECT_GT(high, low * 1.3);
+}
+
+TEST(CoupledModel, OceanLagsAtmosphere) {
+  CoupledModel model(small_params());
+  for (int m = 0; m < 60; ++m) model.step();
+  const double atm_before = model.atmosphere().weighted_mean();
+  const double ocn_before = model.ocean().weighted_mean();
+  model.set_ghg_forcing(5.0);
+  for (int m = 0; m < 24; ++m) model.step();
+  const double atm_delta = model.atmosphere().weighted_mean() - atm_before;
+  const double ocn_delta = model.ocean().weighted_mean() - ocn_before;
+  EXPECT_GT(atm_delta, ocn_delta);  // the slow ocean trails the fast air
+}
+
+TEST(CoupledModel, MonthCounterAdvances) {
+  CoupledModel model(small_params());
+  EXPECT_EQ(model.month(), 0);
+  model.step();
+  model.step();
+  EXPECT_EQ(model.month(), 2);
+  model.restore_month(17);
+  EXPECT_EQ(model.month(), 17);
+}
+
+TEST(CoupledModel, TemperaturesStayBounded) {
+  ModelParams p = small_params();
+  p.cloud_feedback = 1.7;  // aggressive but below the runaway guard
+  CoupledModel model(p);
+  model.set_ghg_forcing(10.0);
+  for (int m = 0; m < 240; ++m) model.step();
+  EXPECT_LE(model.atmosphere().max(), 80.0);
+  EXPECT_GE(model.atmosphere().min(), -80.0);
+}
+
+}  // namespace
+}  // namespace oagrid::climate

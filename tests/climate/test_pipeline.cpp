@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "climate/calibration.hpp"
+#include "climate/compress.hpp"
+#include "climate/diagnostics.hpp"
+#include "climate/restart.hpp"
+#include "climate/scenario_runner.hpp"
+
+namespace oagrid::climate {
+namespace {
+
+ModelParams small_params() {
+  ModelParams p;
+  p.nlat = 12;
+  p.nlon = 24;
+  p.substeps = 10;
+  return p;
+}
+
+Field sample_field() {
+  Field f(12, 24);
+  f.fill_with([](double lat, double lon) {
+    return 15.0 - 0.3 * lat + 2.0 * std::sin(lon / 40.0);
+  });
+  return f;
+}
+
+// --- OASF (convert_output_format) ---------------------------------------
+
+TEST(Oasf, RoundTripsExactly) {
+  DiagnosticRecord record;
+  record.name = "tas";
+  record.month = 42;
+  record.field = sample_field();
+  std::stringstream buffer;
+  write_oasf(buffer, record);
+  const DiagnosticRecord back = read_oasf(buffer);
+  EXPECT_EQ(back.name, "tas");
+  EXPECT_EQ(back.month, 42);
+  EXPECT_EQ(back.field, record.field);
+}
+
+TEST(Oasf, SizeMatchesStream) {
+  DiagnosticRecord record;
+  record.name = "pr";
+  record.month = 1;
+  record.field = sample_field();
+  std::stringstream buffer;
+  write_oasf(buffer, record);
+  EXPECT_EQ(buffer.str().size(), oasf_size(record));
+}
+
+TEST(Oasf, RejectsGarbage) {
+  std::stringstream bad("this is not an OASF stream at all........");
+  EXPECT_THROW((void)read_oasf(bad), std::invalid_argument);
+}
+
+TEST(Oasf, RejectsTruncation) {
+  DiagnosticRecord record;
+  record.name = "tas";
+  record.field = sample_field();
+  std::stringstream buffer;
+  write_oasf(buffer, record);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW((void)read_oasf(truncated), std::invalid_argument);
+}
+
+// --- extract_minimum_information ------------------------------------------
+
+TEST(Extract, ProducesAllKeyRegions) {
+  DiagnosticRecord record;
+  record.name = "tas";
+  record.month = 3;
+  record.field = sample_field();
+  const ExtractedInfo info = extract_minimum_information(record);
+  EXPECT_EQ(info.month, 3);
+  EXPECT_EQ(info.means.size(), key_regions().size());
+  EXPECT_EQ(info.means[0].first, "global");
+  EXPECT_NEAR(info.means[0].second, record.field.weighted_mean(), 1e-12);
+}
+
+// --- compress_diags ----------------------------------------------------------
+
+TEST(Compress, RoundTripsOnQuantizedLattice) {
+  const Field f = sample_field();
+  const CompressedField c = compress_field(f, 1e-3);
+  const Field back = decompress_field(c);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    EXPECT_NEAR(back.data()[i], f.data()[i], 5e-4 + 1e-12);
+  // Idempotent: compressing the reconstruction reproduces it exactly.
+  const Field twice = decompress_field(compress_field(back, 1e-3));
+  EXPECT_EQ(twice, back);
+}
+
+TEST(Compress, DrasticallyReducesSmoothFields) {
+  // The paper's cd exists because diagnostics compress well; the codec must
+  // deliver at least ~4x on a smooth field.
+  const Field f = sample_field();
+  const CompressedField c = compress_field(f);
+  EXPECT_GT(compression_ratio(f, c), 4.0);
+}
+
+TEST(Compress, HandlesConstantField) {
+  const Field f(12, 24, 3.0);
+  const CompressedField c = compress_field(f);
+  EXPECT_EQ(decompress_field(c), decompress_field(c));
+  EXPECT_GT(compression_ratio(f, c), 6.0);
+}
+
+TEST(Compress, RejectsCorruptPayload) {
+  const CompressedField c = compress_field(sample_field());
+  CompressedField truncated = c;
+  truncated.payload.resize(truncated.payload.size() / 2);
+  EXPECT_THROW((void)decompress_field(truncated), std::invalid_argument);
+  CompressedField padded = c;
+  padded.payload.push_back(0);
+  EXPECT_THROW((void)decompress_field(padded), std::invalid_argument);
+  EXPECT_THROW((void)compress_field(sample_field(), 0.0), std::invalid_argument);
+}
+
+// --- restart -----------------------------------------------------------------
+
+TEST(Restart, RoundTripBitIdentical) {
+  CoupledModel model(small_params());
+  for (int m = 0; m < 5; ++m) model.step();
+  std::stringstream buffer;
+  write_restart(buffer, model);
+  EXPECT_EQ(buffer.str().size(), restart_size(model.params()));
+  CoupledModel resumed = read_restart(buffer);
+  EXPECT_EQ(resumed.month(), 5);
+  EXPECT_EQ(resumed.atmosphere(), model.atmosphere());
+  EXPECT_EQ(resumed.ocean(), model.ocean());
+  // And it continues identically.
+  const MonthlyState a = model.step();
+  const MonthlyState b = resumed.step();
+  EXPECT_DOUBLE_EQ(a.global_mean_atm, b.global_mean_atm);
+}
+
+TEST(Restart, RejectsGarbage) {
+  std::stringstream bad("not a restart");
+  EXPECT_THROW((void)read_restart(bad), std::invalid_argument);
+}
+
+// --- scenario runner ---------------------------------------------------------
+
+TEST(Scenario, RunsFullPipeline) {
+  ScenarioConfig config;
+  config.model = small_params();
+  config.months = 24;
+  config.verify_restart = true;
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_EQ(result.states.size(), 24u);
+  EXPECT_EQ(result.extracted.size(), 24u);
+  EXPECT_GT(result.raw_diag_bytes, 0u);
+  EXPECT_GT(result.compressed_diag_bytes, 0u);
+  EXPECT_LT(result.compressed_diag_bytes, result.raw_diag_bytes / 3);
+  EXPECT_EQ(result.restart_bytes_per_month, restart_size(config.model));
+}
+
+TEST(Scenario, RampProducesWarming) {
+  ScenarioConfig config;
+  config.model = small_params();
+  config.months = 120;
+  config.ghg_ramp = 0.05;
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_GT(result.warming, 0.2);
+}
+
+TEST(Scenario, CloudEnsembleSpreadsWarming) {
+  // The scientific payload of the paper's experiment: different cloud
+  // parametrizations give different 21st-century warming.
+  const double low = warming_of(0.0, 90);
+  const double high = warming_of(0.9, 90);
+  EXPECT_GT(high, low + 0.05);
+}
+
+TEST(Scenario, Validation) {
+  ScenarioConfig config;
+  config.months = 0;
+  EXPECT_THROW((void)run_scenario(config), std::invalid_argument);
+  config.months = 2;
+  config.ghg_ramp = -1;
+  EXPECT_THROW((void)run_scenario(config), std::invalid_argument);
+}
+
+// --- calibration ---------------------------------------------------------------
+
+TEST(Calibration, ProducesSchedulerReadyCluster) {
+  ModelParams p = small_params();
+  p.substeps = 2;  // keep the test fast
+  const CalibrationResult result = calibrate_pipeline(p, 1);
+  ASSERT_EQ(result.main_times.size(), 8u);
+  for (const Seconds t : result.main_times) EXPECT_GT(t, 0.0);
+  EXPECT_GT(result.post_time, 0.0);
+  const platform::Cluster cluster = result.to_cluster("local", 32);
+  EXPECT_EQ(cluster.min_group(), 4);
+  EXPECT_EQ(cluster.max_group(), 11);
+  EXPECT_EQ(cluster.resources(), 32);
+}
+
+TEST(Calibration, Validation) {
+  EXPECT_THROW((void)calibrate_pipeline(small_params(), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oagrid::climate

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "climate/model.hpp"
+
+namespace oagrid::climate {
+namespace {
+
+ModelParams seasonal_params(double amplitude) {
+  ModelParams p;
+  p.nlat = 12;
+  p.nlon = 24;
+  p.substeps = 10;
+  p.seasonal_amplitude = amplitude;
+  return p;
+}
+
+/// Mid-latitude northern band mean over one simulated year.
+std::vector<double> north_band_year(CoupledModel& model) {
+  const Region band{"north-midlat", 35, 55, -180, 180};
+  std::vector<double> months;
+  for (int m = 0; m < 12; ++m) {
+    model.step();
+    months.push_back(model.atmosphere().regional_mean(band));
+  }
+  return months;
+}
+
+TEST(Seasonal, ZeroAmplitudeGivesSteadyYear) {
+  CoupledModel model(seasonal_params(0.0));
+  for (int m = 0; m < 120; ++m) model.step();  // spin up
+  const auto year = north_band_year(model);
+  const double swing = *std::max_element(year.begin(), year.end()) -
+                       *std::min_element(year.begin(), year.end());
+  EXPECT_LT(swing, 0.5);  // only residual drift, no cycle
+}
+
+TEST(Seasonal, CycleAppearsWithAmplitude) {
+  CoupledModel model(seasonal_params(0.3));
+  for (int m = 0; m < 120; ++m) model.step();
+  const auto year = north_band_year(model);
+  const double swing = *std::max_element(year.begin(), year.end()) -
+                       *std::min_element(year.begin(), year.end());
+  EXPECT_GT(swing, 3.0);   // real summer/winter contrast
+  EXPECT_LT(swing, 40.0);  // but bounded
+}
+
+TEST(Seasonal, HemispheresAreAntiphased) {
+  CoupledModel model(seasonal_params(0.3));
+  for (int m = 0; m < 120; ++m) model.step();
+  const Region north{"n", 35, 55, -180, 180};
+  const Region south{"s", -55, -35, -180, 180};
+  // Correlate the two bands over a year: northern summer = southern winter.
+  double cov = 0, nm = 0, sm = 0;
+  std::vector<double> ns, ss;
+  for (int m = 0; m < 12; ++m) {
+    model.step();
+    ns.push_back(model.atmosphere().regional_mean(north));
+    ss.push_back(model.atmosphere().regional_mean(south));
+    nm += ns.back();
+    sm += ss.back();
+  }
+  nm /= 12;
+  sm /= 12;
+  for (std::size_t m = 0; m < 12; ++m) cov += (ns[m] - nm) * (ss[m] - sm);
+  EXPECT_LT(cov, 0.0);  // anti-correlated
+}
+
+TEST(Seasonal, TwelveMonthPeriodicity) {
+  CoupledModel model(seasonal_params(0.3));
+  for (int m = 0; m < 120; ++m) model.step();
+  const auto year1 = north_band_year(model);
+  const auto year2 = north_band_year(model);
+  for (int m = 0; m < 12; ++m)
+    EXPECT_NEAR(year1[static_cast<std::size_t>(m)],
+                year2[static_cast<std::size_t>(m)], 0.3)
+        << "month " << m;
+}
+
+TEST(Seasonal, AnnualMeanBarelyShifts) {
+  // The cycle is hemisphere-antisymmetric: the global annual mean must stay
+  // close to the non-seasonal climate.
+  CoupledModel steady(seasonal_params(0.0)), seasonal(seasonal_params(0.3));
+  for (int m = 0; m < 120; ++m) {
+    steady.step();
+    seasonal.step();
+  }
+  double mean_steady = 0, mean_seasonal = 0;
+  for (int m = 0; m < 12; ++m)
+    mean_steady += steady.step().global_mean_atm;
+  for (int m = 0; m < 12; ++m)
+    mean_seasonal += seasonal.step().global_mean_atm;
+  EXPECT_NEAR(mean_seasonal / 12, mean_steady / 12, 1.5);
+}
+
+}  // namespace
+}  // namespace oagrid::climate

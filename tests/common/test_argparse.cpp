@@ -1,0 +1,122 @@
+#include "common/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oagrid {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser args("prog", "test parser");
+  args.add_option("count", "a number", "7")
+      .add_option("name", "a string", "default")
+      .add_option("rate", "a real", "1.5")
+      .add_flag("verbose", "chatty");
+  return args;
+}
+
+TEST(ArgParse, DefaultsApply) {
+  ArgParser args = make_parser();
+  args.parse({});
+  EXPECT_EQ(args.get_int("count"), 7);
+  EXPECT_EQ(args.get("name"), "default");
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 1.5);
+  EXPECT_FALSE(args.flag("verbose"));
+}
+
+TEST(ArgParse, SpaceSeparatedValues) {
+  ArgParser args = make_parser();
+  args.parse({"--count", "42", "--name", "alpha"});
+  EXPECT_EQ(args.get_int("count"), 42);
+  EXPECT_EQ(args.get("name"), "alpha");
+}
+
+TEST(ArgParse, EqualsSeparatedValues) {
+  ArgParser args = make_parser();
+  args.parse({"--count=13", "--rate=2.25"});
+  EXPECT_EQ(args.get_int("count"), 13);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 2.25);
+}
+
+TEST(ArgParse, FlagsToggle) {
+  ArgParser args = make_parser();
+  args.parse({"--verbose"});
+  EXPECT_TRUE(args.flag("verbose"));
+}
+
+TEST(ArgParse, FlagRejectsValue) {
+  ArgParser args = make_parser();
+  EXPECT_THROW(args.parse({"--verbose=yes"}), std::invalid_argument);
+}
+
+TEST(ArgParse, UnknownOptionRejected) {
+  ArgParser args = make_parser();
+  EXPECT_THROW(args.parse({"--bogus"}), std::invalid_argument);
+}
+
+TEST(ArgParse, MissingValueRejected) {
+  ArgParser args = make_parser();
+  EXPECT_THROW(args.parse({"--count"}), std::invalid_argument);
+}
+
+TEST(ArgParse, TypeErrorsAreDiagnosed) {
+  ArgParser args = make_parser();
+  args.parse({"--count", "not-a-number"});
+  EXPECT_THROW((void)args.get_int("count"), std::invalid_argument);
+  args.parse({"--rate", "1.5x"});
+  EXPECT_THROW((void)args.get_double("rate"), std::invalid_argument);
+}
+
+TEST(ArgParse, Positionals) {
+  ArgParser args("prog", "positional test");
+  args.add_positional("input", "input file").add_option("n", "count", "1");
+  args.parse({"data.txt", "--n", "3"});
+  EXPECT_EQ(args.get("input"), "data.txt");
+  EXPECT_EQ(args.get_int("n"), 3);
+}
+
+TEST(ArgParse, MissingPositionalRejected) {
+  ArgParser args("prog", "positional test");
+  args.add_positional("input", "input file");
+  EXPECT_THROW(args.parse({}), std::invalid_argument);
+}
+
+TEST(ArgParse, ExtraPositionalRejected) {
+  ArgParser args = make_parser();
+  EXPECT_THROW(args.parse({"stray"}), std::invalid_argument);
+}
+
+TEST(ArgParse, DuplicateDeclarationRejected) {
+  ArgParser args("prog", "dup");
+  args.add_option("x", "first", "1");
+  EXPECT_THROW(args.add_option("x", "second", "2"), std::invalid_argument);
+  EXPECT_THROW(args.add_flag("x", "third"), std::invalid_argument);
+}
+
+TEST(ArgParse, UsageMentionsEverything) {
+  ArgParser args = make_parser();
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("default: 7"), std::string::npos);
+  EXPECT_NE(usage.find("test parser"), std::string::npos);
+}
+
+TEST(ArgParse, UndeclaredQueriesThrow) {
+  ArgParser args = make_parser();
+  args.parse({});
+  EXPECT_THROW((void)args.get("nope"), std::invalid_argument);
+  EXPECT_THROW((void)args.flag("nope"), std::invalid_argument);
+}
+
+TEST(ArgParse, ArgcArgvForm) {
+  ArgParser args = make_parser();
+  const char* argv[] = {"prog", "--count", "9", "--verbose"};
+  args.parse(4, argv);
+  EXPECT_EQ(args.get_int("count"), 9);
+  EXPECT_TRUE(args.flag("verbose"));
+}
+
+}  // namespace
+}  // namespace oagrid

@@ -1,0 +1,65 @@
+#include "common/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oagrid {
+namespace {
+
+TEST(AsciiChart, RejectsTinyCanvas) {
+  EXPECT_THROW(AsciiChart(4, 4), std::invalid_argument);
+  EXPECT_THROW(AsciiChart(40, 2), std::invalid_argument);
+}
+
+TEST(AsciiChart, RejectsMismatchedSeries) {
+  AsciiChart chart(40, 10);
+  EXPECT_THROW(chart.add_series(ChartSeries{"bad", '*', {1, 2}, {1}}),
+               std::invalid_argument);
+}
+
+TEST(AsciiChart, EmptyRendersPlaceholder) {
+  AsciiChart chart(40, 10);
+  EXPECT_EQ(chart.render(), "(empty chart)\n");
+}
+
+TEST(AsciiChart, GlyphsAppear) {
+  AsciiChart chart(40, 10);
+  chart.add_series(ChartSeries{"up", '*', {0, 1, 2, 3}, {0, 1, 2, 3}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = up"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesLegend) {
+  AsciiChart chart(40, 10);
+  chart.add_series(ChartSeries{"a", '1', {0, 1}, {0, 1}});
+  chart.add_series(ChartSeries{"b", '2', {0, 1}, {1, 0}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("1 = a"), std::string::npos);
+  EXPECT_NE(out.find("2 = b"), std::string::npos);
+}
+
+TEST(AsciiChart, FixedRangeValidated) {
+  AsciiChart chart(40, 10);
+  EXPECT_THROW(chart.set_y_range(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(chart.set_y_range(2.0, 1.0), std::invalid_argument);
+  chart.set_y_range(-2.0, 14.0);
+  chart.add_series(ChartSeries{"s", '*', {0, 1}, {0, 12}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("14.00"), std::string::npos);
+  EXPECT_NE(out.find("-2.00"), std::string::npos);
+}
+
+TEST(AsciiChart, ExtremePointsLandOnEdges) {
+  AsciiChart chart(20, 5);
+  chart.add_series(ChartSeries{"s", '#', {0, 10}, {5, 5}});
+  const std::string out = chart.render();
+  // Flat series: both points on the same text row.
+  std::size_t count = 0;
+  for (const char c : out) count += (c == '#');
+  EXPECT_GE(count, 2u);
+}
+
+}  // namespace
+}  // namespace oagrid

@@ -1,0 +1,125 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace oagrid {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 2.5);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearCenter) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+class RngIntRange : public ::testing::TestWithParam<std::pair<long long, long long>> {};
+
+TEST_P(RngIntRange, InclusiveBoundsAndFullCoverage) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(lo * 31 + hi));
+  std::set<long long> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const long long v = rng.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    seen.insert(v);
+  }
+  if (hi - lo < 20) {
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(hi - lo + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngIntRange,
+                         ::testing::Values(std::pair{0LL, 0LL},
+                                           std::pair{0LL, 1LL},
+                                           std::pair{-5LL, 5LL},
+                                           std::pair{1LL, 11LL},
+                                           std::pair{100LL, 1000LL}));
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.split();
+  // The child's stream should not be a shifted copy of the parent's.
+  std::vector<std::uint64_t> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(parent());
+    b.push_back(child());
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, SplitDeterministic) {
+  Rng p1(5), p2(5);
+  Rng c1 = p1.split();
+  Rng c2 = p2.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // 50! permutations; identity is measure-zero
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleHandlesSmallVectors) {
+  Rng rng(4);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+}  // namespace
+}  // namespace oagrid

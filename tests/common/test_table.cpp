@@ -1,0 +1,79 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace oagrid {
+namespace {
+
+TEST(TableWriter, RejectsEmptyHeader) {
+  EXPECT_THROW(TableWriter({}), std::invalid_argument);
+}
+
+TEST(TableWriter, RejectsRaggedRow) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter t({"x", "value"});
+  t.add_row({"1", "10"});
+  t.add_row({"100", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("x    value"), std::string::npos);
+  EXPECT_NE(out.find("1    10"), std::string::npos);
+  EXPECT_NE(out.find("100  2"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TableWriter, CsvPlain) {
+  TableWriter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableWriter, CsvEscapesSpecials) {
+  TableWriter t({"a"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(TableWriter, RowCount) {
+  TableWriter t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(FmtDuration, SecondsOnly) {
+  EXPECT_EQ(fmt_duration(59.0), "00:00:59");
+  EXPECT_EQ(fmt_duration(3661.0), "01:01:01");
+}
+
+TEST(FmtDuration, Days) {
+  EXPECT_EQ(fmt_duration(86400.0 + 3600.0), "1d 01:00:00");
+  // The paper's quoted 58-hour gain.
+  EXPECT_EQ(fmt_duration(58.0 * 3600.0), "2d 10:00:00");
+}
+
+TEST(FmtDuration, Infinite) { EXPECT_EQ(fmt_duration(1.0 / 0.0), "inf"); }
+
+}  // namespace
+}  // namespace oagrid

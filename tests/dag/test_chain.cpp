@@ -1,0 +1,116 @@
+#include "dag/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oagrid::dag {
+namespace {
+
+Dag two_node_template() {
+  // work(10) -> tail(1)
+  Dag g;
+  TaskSpec work;
+  work.name = "work";
+  work.ref_duration = 10;
+  TaskSpec tail;
+  tail.name = "tail";
+  tail.ref_duration = 1;
+  const NodeId w = g.add_task(work);
+  const NodeId t = g.add_task(tail);
+  g.add_edge(w, t);
+  g.freeze();
+  return g;
+}
+
+TEST(Chain, RequiresFrozenTemplate) {
+  Dag g;
+  g.add_task(TaskSpec{.name = "x", .ref_duration = 1});
+  EXPECT_THROW(chain_of(g, 2, {}), std::invalid_argument);
+}
+
+TEST(Chain, RequiresPositiveInstances) {
+  const Dag tmpl = two_node_template();
+  EXPECT_THROW(chain_of(tmpl, 0, {}), std::invalid_argument);
+}
+
+TEST(Chain, RejectsOutOfRangeLinks) {
+  const Dag tmpl = two_node_template();
+  EXPECT_THROW(chain_of(tmpl, 2, {CrossLink{5, 0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(chain_of(tmpl, 2, {CrossLink{0, -1, 0.0}}), std::invalid_argument);
+}
+
+TEST(Chain, SingleInstanceEqualsTemplate) {
+  const Dag tmpl = two_node_template();
+  const ChainedDag chained = chain_of(tmpl, 1, {CrossLink{0, 0, 5.0}});
+  EXPECT_EQ(chained.graph.node_count(), 2);
+  EXPECT_EQ(chained.graph.edge_count(), 1u);  // no cross edges with 1 instance
+  EXPECT_DOUBLE_EQ(chained.graph.critical_path_ref(), 11.0);
+}
+
+TEST(Chain, NodeAndEdgeCounts) {
+  const Dag tmpl = two_node_template();
+  const ChainedDag chained = chain_of(tmpl, 5, {CrossLink{0, 0, 120.0}});
+  EXPECT_EQ(chained.graph.node_count(), 10);
+  // 5 intra edges + 4 cross edges.
+  EXPECT_EQ(chained.graph.edge_count(), 9u);
+}
+
+TEST(Chain, IndexMappingRoundTrips) {
+  const Dag tmpl = two_node_template();
+  const ChainedDag chained = chain_of(tmpl, 4, {CrossLink{0, 0, 0.0}});
+  for (int m = 0; m < 4; ++m)
+    for (NodeId v = 0; v < 2; ++v) {
+      const NodeId id = chained.at(m, v);
+      EXPECT_EQ(chained.instance_of(id), m);
+      EXPECT_EQ(chained.template_node_of(id), v);
+    }
+  EXPECT_THROW((void)chained.at(4, 0), std::invalid_argument);
+  EXPECT_THROW((void)chained.at(0, 2), std::invalid_argument);
+}
+
+TEST(Chain, NamesCarryInstanceSuffix) {
+  const Dag tmpl = two_node_template();
+  const ChainedDag chained = chain_of(tmpl, 2, {});
+  EXPECT_EQ(chained.graph.task(chained.at(0, 0)).name, "work#0");
+  EXPECT_EQ(chained.graph.task(chained.at(1, 1)).name, "tail#1");
+}
+
+TEST(Chain, CrossLinkCarriesDataVolume) {
+  const Dag tmpl = two_node_template();
+  const ChainedDag chained = chain_of(tmpl, 3, {CrossLink{0, 0, 120.0}});
+  int cross_edges = 0;
+  for (const Edge& e : chained.graph.edges())
+    if (e.data_mb == 120.0) ++cross_edges;
+  EXPECT_EQ(cross_edges, 2);
+}
+
+TEST(Chain, CriticalPathGrowsLinearlyWithWorkChain) {
+  const Dag tmpl = two_node_template();
+  // Chain through the work node: tail hangs off each instance.
+  const ChainedDag chained = chain_of(tmpl, 10, {CrossLink{0, 0, 0.0}});
+  // 10 x work (10 s) serialized + one trailing tail (1 s).
+  EXPECT_DOUBLE_EQ(chained.graph.critical_path_ref(), 101.0);
+}
+
+TEST(Chain, ChainThroughTailSerializesEverything) {
+  const Dag tmpl = two_node_template();
+  const ChainedDag chained = chain_of(tmpl, 10, {CrossLink{1, 0, 0.0}});
+  // tail also on the chain: 10 x (10 + 1).
+  EXPECT_DOUBLE_EQ(chained.graph.critical_path_ref(), 110.0);
+}
+
+TEST(Chain, MultipleCrossLinks) {
+  // Template: two independent nodes; both chained.
+  Dag g;
+  g.add_task(TaskSpec{.name = "u", .ref_duration = 3});
+  g.add_task(TaskSpec{.name = "v", .ref_duration = 4});
+  g.freeze();
+  const ChainedDag chained =
+      chain_of(g, 3, {CrossLink{0, 0, 0.0}, CrossLink{1, 1, 0.0}});
+  EXPECT_EQ(chained.graph.edge_count(), 4u);
+  EXPECT_DOUBLE_EQ(chained.graph.critical_path_ref(), 12.0);  // 3 x v
+}
+
+}  // namespace
+}  // namespace oagrid::dag

@@ -1,0 +1,197 @@
+#include "dag/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace oagrid::dag {
+namespace {
+
+TaskSpec rigid(const std::string& name, Seconds duration, ProcCount procs = 1) {
+  TaskSpec spec;
+  spec.name = name;
+  spec.shape = TaskShape::kRigid;
+  spec.ref_duration = duration;
+  spec.procs = procs;
+  return spec;
+}
+
+TaskSpec moldable(const std::string& name, Seconds duration, ProcCount lo,
+                  ProcCount hi) {
+  TaskSpec spec;
+  spec.name = name;
+  spec.shape = TaskShape::kMoldable;
+  spec.ref_duration = duration;
+  spec.min_procs = lo;
+  spec.max_procs = hi;
+  return spec;
+}
+
+Dag diamond() {
+  // a -> {b, c} -> d
+  Dag g;
+  const NodeId a = g.add_task(rigid("a", 1));
+  const NodeId b = g.add_task(rigid("b", 2));
+  const NodeId c = g.add_task(rigid("c", 3));
+  const NodeId d = g.add_task(rigid("d", 4));
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.freeze();
+  return g;
+}
+
+TEST(Dag, RejectsMalformedTasks) {
+  Dag g;
+  TaskSpec negative = rigid("x", -1);
+  EXPECT_THROW(g.add_task(negative), std::invalid_argument);
+  TaskSpec zero_procs = rigid("x", 1, 0);
+  EXPECT_THROW(g.add_task(zero_procs), std::invalid_argument);
+  TaskSpec inverted = moldable("x", 1, 5, 3);
+  EXPECT_THROW(g.add_task(inverted), std::invalid_argument);
+}
+
+TEST(Dag, RejectsBadEdges) {
+  Dag g;
+  const NodeId a = g.add_task(rigid("a", 1));
+  const NodeId b = g.add_task(rigid("b", 1));
+  EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);       // self loop
+  EXPECT_THROW(g.add_edge(a, 5), std::out_of_range);           // unknown id
+  EXPECT_THROW(g.add_edge(a, b, -1.0), std::invalid_argument); // negative data
+  g.add_edge(a, b);
+  EXPECT_THROW(g.add_edge(a, b), std::invalid_argument);       // duplicate
+}
+
+TEST(Dag, DetectsCycle) {
+  Dag g;
+  const NodeId a = g.add_task(rigid("a", 1));
+  const NodeId b = g.add_task(rigid("b", 1));
+  const NodeId c = g.add_task(rigid("c", 1));
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);
+  EXPECT_THROW(g.freeze(), std::invalid_argument);
+}
+
+TEST(Dag, CycleErrorNamesATask) {
+  Dag g;
+  const NodeId a = g.add_task(rigid("alpha", 1));
+  const NodeId b = g.add_task(rigid("beta", 1));
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  try {
+    g.freeze();
+    FAIL() << "expected cycle detection";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(what.find("alpha") != std::string::npos ||
+                what.find("beta") != std::string::npos)
+        << what;
+  }
+}
+
+TEST(Dag, FrozenIsImmutable) {
+  Dag g = diamond();
+  EXPECT_THROW(g.add_task(rigid("late", 1)), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.freeze(), std::invalid_argument);
+}
+
+TEST(Dag, QueriesRequireFreeze) {
+  Dag g;
+  g.add_task(rigid("a", 1));
+  EXPECT_THROW((void)g.topological_order(), std::logic_error);
+  EXPECT_THROW((void)g.levels(), std::logic_error);
+  EXPECT_THROW((void)g.critical_path_ref(), std::logic_error);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  const Dag g = diamond();
+  const auto topo = g.topological_order();
+  ASSERT_EQ(topo.size(), 4u);
+  std::vector<int> position(4);
+  for (int i = 0; i < 4; ++i) position[static_cast<std::size_t>(topo[static_cast<std::size_t>(i)])] = i;
+  for (const Edge& e : g.edges())
+    EXPECT_LT(position[static_cast<std::size_t>(e.from)],
+              position[static_cast<std::size_t>(e.to)]);
+}
+
+TEST(Dag, LevelsAreHopDepth) {
+  const Dag g = diamond();
+  const auto levels = g.levels();
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], 1);
+  EXPECT_EQ(levels[3], 2);
+}
+
+TEST(Dag, EntryAndExitNodes) {
+  const Dag g = diamond();
+  EXPECT_EQ(g.entry_nodes(), std::vector<NodeId>{0});
+  EXPECT_EQ(g.exit_nodes(), std::vector<NodeId>{3});
+}
+
+TEST(Dag, PredecessorsAndSuccessors) {
+  const Dag g = diamond();
+  EXPECT_EQ(g.successors(0).size(), 2u);
+  EXPECT_EQ(g.predecessors(3).size(), 2u);
+  EXPECT_EQ(g.predecessors(0).size(), 0u);
+}
+
+TEST(Dag, CriticalPathUsesLongestBranch) {
+  const Dag g = diamond();
+  // a(1) -> c(3) -> d(4) = 8 beats a -> b(2) -> d = 7.
+  EXPECT_DOUBLE_EQ(g.critical_path_ref(), 8.0);
+}
+
+TEST(Dag, CriticalPathWithCustomDurations) {
+  const Dag g = diamond();
+  const Seconds cp = g.critical_path([](NodeId v) {
+    return v == 1 ? 100.0 : 1.0;  // make b dominant
+  });
+  EXPECT_DOUBLE_EQ(cp, 102.0);
+}
+
+TEST(Dag, CriticalPathOfIndependentNodes) {
+  Dag g;
+  g.add_task(rigid("a", 5));
+  g.add_task(rigid("b", 9));
+  g.freeze();
+  EXPECT_DOUBLE_EQ(g.critical_path_ref(), 9.0);
+}
+
+TEST(Dag, WorkAreaSumsDurationTimesProcs) {
+  const Dag g = diamond();
+  const double area = g.work_area(
+      [&g](NodeId v) { return g.task(v).ref_duration; },
+      [](NodeId) { return 2; });
+  EXPECT_DOUBLE_EQ(area, (1 + 2 + 3 + 4) * 2.0);
+}
+
+TEST(Dag, FindByName) {
+  const Dag g = diamond();
+  EXPECT_EQ(g.find_by_name("c"), 2);
+  EXPECT_EQ(g.find_by_name("missing"), kInvalidNode);
+}
+
+TEST(Dag, FindByNameThrowsOnAmbiguity) {
+  Dag g;
+  g.add_task(rigid("dup", 1));
+  g.add_task(rigid("dup", 1));
+  g.freeze();
+  EXPECT_THROW((void)g.find_by_name("dup"), std::invalid_argument);
+}
+
+TEST(Dag, EmptyDagFreezes) {
+  Dag g;
+  g.freeze();
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_TRUE(g.topological_order().empty());
+  EXPECT_DOUBLE_EQ(g.critical_path_ref(), 0.0);
+}
+
+}  // namespace
+}  // namespace oagrid::dag

@@ -1,0 +1,140 @@
+/// \file test_dag_properties.cpp
+/// \brief Randomized structural properties of the DAG substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "dag/chain.hpp"
+#include "dag/dag.hpp"
+
+namespace oagrid::dag {
+namespace {
+
+/// Random DAG: edges only from lower to higher ids (guaranteed acyclic),
+/// density controlled by `p`.
+Dag random_dag(Rng& rng, int nodes, double p) {
+  Dag g;
+  for (int v = 0; v < nodes; ++v) {
+    TaskSpec spec;
+    spec.name = "t" + std::to_string(v);
+    spec.ref_duration = rng.uniform(1.0, 100.0);
+    if (rng.uniform() < 0.3) {
+      spec.shape = TaskShape::kMoldable;
+      spec.min_procs = 1 + static_cast<ProcCount>(rng.uniform_int(0, 3));
+      spec.max_procs = spec.min_procs + static_cast<ProcCount>(rng.uniform_int(0, 8));
+    }
+    g.add_task(spec);
+  }
+  for (int a = 0; a < nodes; ++a)
+    for (int b = a + 1; b < nodes; ++b)
+      if (rng.uniform() < p) g.add_edge(a, b);
+  g.freeze();
+  return g;
+}
+
+TEST(DagProperties, TopologicalOrderIsAlwaysValid) {
+  Rng rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 40));
+    const Dag g = random_dag(rng, n, rng.uniform(0.0, 0.4));
+    const auto topo = g.topological_order();
+    ASSERT_EQ(topo.size(), static_cast<std::size_t>(n));
+    std::vector<int> pos(static_cast<std::size_t>(n));
+    std::set<NodeId> seen;
+    for (int i = 0; i < n; ++i) {
+      pos[static_cast<std::size_t>(topo[static_cast<std::size_t>(i)])] = i;
+      seen.insert(topo[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));  // a permutation
+    for (const Edge& e : g.edges())
+      EXPECT_LT(pos[static_cast<std::size_t>(e.from)],
+                pos[static_cast<std::size_t>(e.to)]);
+  }
+}
+
+TEST(DagProperties, CriticalPathBounds) {
+  // max duration <= critical path <= sum of durations; and the CP equals the
+  // longest path found by explicit DP over the topological order.
+  Rng rng(202);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Dag g = random_dag(rng, static_cast<int>(rng.uniform_int(1, 30)),
+                             rng.uniform(0.0, 0.5));
+    double longest_single = 0, total = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      longest_single = std::max(longest_single, g.task(v).ref_duration);
+      total += g.task(v).ref_duration;
+    }
+    const Seconds cp = g.critical_path_ref();
+    EXPECT_GE(cp, longest_single - 1e-9);
+    EXPECT_LE(cp, total + 1e-9);
+  }
+}
+
+TEST(DagProperties, LevelsMonotoneAlongEdges) {
+  Rng rng(303);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Dag g = random_dag(rng, static_cast<int>(rng.uniform_int(2, 35)),
+                             rng.uniform(0.05, 0.4));
+    const auto levels = g.levels();
+    for (const Edge& e : g.edges())
+      EXPECT_LT(levels[static_cast<std::size_t>(e.from)],
+                levels[static_cast<std::size_t>(e.to)]);
+  }
+}
+
+TEST(DagProperties, EntryExitPartitionConsistent) {
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Dag g = random_dag(rng, static_cast<int>(rng.uniform_int(1, 30)),
+                             rng.uniform(0.0, 0.5));
+    for (const NodeId v : g.entry_nodes())
+      EXPECT_TRUE(g.predecessors(v).empty());
+    for (const NodeId v : g.exit_nodes())
+      EXPECT_TRUE(g.successors(v).empty());
+    EXPECT_GE(g.entry_nodes().size(), 1u);
+    EXPECT_GE(g.exit_nodes().size(), 1u);
+  }
+}
+
+TEST(DagProperties, ChainStampingPreservesStructure) {
+  Rng rng(505);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 10));
+    const Dag tmpl = random_dag(rng, n, 0.3);
+    const int copies = static_cast<int>(rng.uniform_int(1, 6));
+    // Link a random exit to a random entry across instances.
+    const auto exits = tmpl.exit_nodes();
+    const auto entries = tmpl.entry_nodes();
+    const CrossLink link{
+        exits[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<long long>(exits.size()) - 1))],
+        entries[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<long long>(entries.size()) - 1))],
+        1.0};
+    const ChainedDag chained = chain_of(tmpl, copies, {link});
+    EXPECT_EQ(chained.graph.node_count(), n * copies);
+    EXPECT_EQ(chained.graph.edge_count(),
+              tmpl.edge_count() * static_cast<std::size_t>(copies) +
+                  static_cast<std::size_t>(copies - 1));
+    // The chained critical path grows at least linearly in the linked pair.
+    EXPECT_GE(chained.graph.critical_path_ref(),
+              tmpl.critical_path_ref() - 1e-9);
+  }
+}
+
+TEST(DagProperties, WorkAreaAdditiveUnderChaining) {
+  Rng rng(606);
+  const Dag tmpl = random_dag(rng, 8, 0.25);
+  const auto area_of = [](const Dag& g) {
+    return g.work_area([&g](NodeId v) { return g.task(v).ref_duration; },
+                       [](NodeId) { return 1; });
+  };
+  const ChainedDag chained = chain_of(tmpl, 5, {});
+  EXPECT_NEAR(area_of(chained.graph), 5.0 * area_of(tmpl), 1e-6);
+}
+
+}  // namespace
+}  // namespace oagrid::dag

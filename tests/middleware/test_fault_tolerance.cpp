@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "middleware/client.hpp"
+#include "middleware/local_agent.hpp"
+#include "middleware/master_agent.hpp"
+#include "platform/profiles.hpp"
+
+namespace oagrid::middleware {
+namespace {
+
+using namespace std::chrono_literals;
+using appmodel::Ensemble;
+
+TEST(MailboxTimeout, TimesOutWhenEmpty) {
+  Mailbox<int> box;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(box.receive_for(30ms), std::nullopt);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+  EXPECT_FALSE(box.closed());  // timeout, not closure
+}
+
+TEST(MailboxTimeout, DeliversPromptly) {
+  Mailbox<int> box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(5ms);
+    box.send(99);
+  });
+  EXPECT_EQ(box.receive_for(2000ms), 99);
+  producer.join();
+}
+
+TEST(MailboxTimeout, ClosedAndDrainedReturnsNullopt) {
+  Mailbox<int> box;
+  box.send(1);
+  box.close();
+  EXPECT_EQ(box.receive_for(10ms), 1);
+  EXPECT_EQ(box.receive_for(10ms), std::nullopt);
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(FaultTolerance, AllHealthyMatchesPlainSubmit) {
+  const auto grid = platform::make_builtin_grid(25);
+  const Ensemble ensemble{8, 10};
+  MasterAgent agent(grid);
+  Client client(agent);
+  const CampaignResult plain =
+      client.submit(ensemble, sched::Heuristic::kKnapsack);
+  const auto guarded = client.submit_with_deadline(
+      ensemble, sched::Heuristic::kKnapsack, 30000ms);
+  agent.shutdown();
+
+  EXPECT_TRUE(guarded.unresponsive.empty());
+  EXPECT_EQ(guarded.responsive.size(), 5u);
+  EXPECT_EQ(guarded.campaign.repartition.dags_per_cluster,
+            plain.repartition.dags_per_cluster);
+  EXPECT_DOUBLE_EQ(guarded.campaign.makespan, plain.makespan);
+}
+
+TEST(FaultTolerance, DeadDaemonIsDroppedNotFatal) {
+  const auto grid = platform::make_builtin_grid(25);
+  const Ensemble ensemble{8, 10};
+  MasterAgent agent(grid);
+  agent.daemon(3).stop();  // crash one SeD before the campaign
+
+  Client client(agent);
+  const auto result = client.submit_with_deadline(
+      ensemble, sched::Heuristic::kKnapsack, 500ms);
+  agent.shutdown();
+
+  EXPECT_EQ(result.unresponsive, std::vector<ClusterId>{3});
+  EXPECT_EQ(result.responsive.size(), 4u);
+  EXPECT_EQ(result.campaign.repartition.total_dags(), 8);
+  EXPECT_GT(result.campaign.makespan, 0.0);
+  // Every execution came from a responsive daemon.
+  for (const auto& exec : result.campaign.executions)
+    EXPECT_NE(exec.cluster, 3);
+}
+
+TEST(FaultTolerance, DeadLeafInsideAnAgentTree) {
+  // A daemon dies inside a Local-Agent tree: broadcasts still fan out
+  // through the routing agents, the dead leaf is dropped at the deadline,
+  // the survivors execute.
+  const auto grid = platform::make_builtin_grid(25);
+  HierarchicalAgent tree(grid, 2);
+  tree.daemon(4).stop();  // crash the 'azur' leaf
+
+  Client client(tree);
+  const auto result = client.submit_with_deadline(
+      Ensemble{6, 8}, sched::Heuristic::kKnapsack, 500ms);
+  tree.shutdown();
+
+  EXPECT_EQ(result.unresponsive, std::vector<ClusterId>{4});
+  EXPECT_EQ(result.responsive.size(), 4u);
+  EXPECT_EQ(result.campaign.repartition.total_dags(), 6);
+  EXPECT_GT(result.campaign.makespan, 0.0);
+}
+
+TEST(FaultTolerance, AllDeadThrows) {
+  const auto grid = platform::make_builtin_grid(20).prefix(2);
+  MasterAgent agent(grid);
+  agent.daemon(0).stop();
+  agent.daemon(1).stop();
+  Client client(agent);
+  EXPECT_THROW((void)client.submit_with_deadline(
+                   Ensemble{4, 5}, sched::Heuristic::kBasic, 100ms),
+               std::runtime_error);
+  agent.shutdown();
+}
+
+TEST(FaultTolerance, RejectsNonPositiveTimeout) {
+  MasterAgent agent(platform::make_builtin_grid(20).prefix(2));
+  Client client(agent);
+  EXPECT_THROW((void)client.submit_with_deadline(
+                   Ensemble{2, 2}, sched::Heuristic::kBasic, 0ms),
+               std::invalid_argument);
+  agent.shutdown();
+}
+
+}  // namespace
+}  // namespace oagrid::middleware

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "middleware/client.hpp"
+#include "middleware/mailbox.hpp"
+#include "middleware/master_agent.hpp"
+#include "platform/profiles.hpp"
+#include "sim/grid_sim.hpp"
+
+namespace oagrid::middleware {
+namespace {
+
+using appmodel::Ensemble;
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox<int> box;
+  box.send(1);
+  box.send(2);
+  box.send(3);
+  EXPECT_EQ(box.receive(), 1);
+  EXPECT_EQ(box.receive(), 2);
+  EXPECT_EQ(box.receive(), 3);
+}
+
+TEST(Mailbox, TryReceiveNonBlocking) {
+  Mailbox<int> box;
+  EXPECT_EQ(box.try_receive(), std::nullopt);
+  box.send(7);
+  EXPECT_EQ(box.try_receive(), 7);
+}
+
+TEST(Mailbox, CloseDrainsThenEnds) {
+  Mailbox<int> box;
+  box.send(1);
+  box.close();
+  EXPECT_FALSE(box.send(2));  // dropped after close
+  EXPECT_EQ(box.receive(), 1);
+  EXPECT_EQ(box.receive(), std::nullopt);
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(Mailbox, CrossThreadDelivery) {
+  Mailbox<int> box;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) box.send(i);
+    box.close();
+  });
+  int expected = 0;
+  while (auto v = box.receive()) EXPECT_EQ(*v, expected++);
+  EXPECT_EQ(expected, 100);
+  producer.join();
+}
+
+TEST(ServerDaemon, AnswersPerfRequest) {
+  ServerDaemon daemon(0, platform::make_builtin_cluster(1, 30));
+  Mailbox<SedResponse> reply;
+  PerfRequest request;
+  request.request_id = 42;
+  request.scenarios = 4;
+  request.months = 6;
+  request.heuristic = sched::Heuristic::kKnapsack;
+  request.reply = &reply;
+  daemon.inbox().send(SedRequest{request});
+  const auto response = reply.receive();
+  ASSERT_TRUE(response.has_value());
+  const auto& perf = std::get<PerfResponse>(*response);
+  EXPECT_EQ(perf.request_id, 42);
+  EXPECT_EQ(perf.cluster, 0);
+  ASSERT_EQ(perf.performance.size(), 4u);
+  for (std::size_t k = 1; k < 4; ++k)
+    EXPECT_GE(perf.performance[k], perf.performance[k - 1]);
+  daemon.stop();
+}
+
+TEST(ServerDaemon, AnswersExecuteRequest) {
+  ServerDaemon daemon(3, platform::make_builtin_cluster(2, 25));
+  Mailbox<SedResponse> reply;
+  ExecuteRequest request;
+  request.request_id = 7;
+  request.scenarios = 3;
+  request.months = 5;
+  request.heuristic = sched::Heuristic::kBasic;
+  request.reply = &reply;
+  daemon.inbox().send(SedRequest{request});
+  const auto response = reply.receive();
+  ASSERT_TRUE(response.has_value());
+  const auto& exec = std::get<ExecuteResponse>(*response);
+  EXPECT_EQ(exec.cluster, 3);
+  EXPECT_EQ(exec.scenarios_run, 3);
+  EXPECT_EQ(exec.mains_executed, 15);
+  EXPECT_EQ(exec.posts_executed, 15);
+  EXPECT_GT(exec.makespan, 0.0);
+  daemon.stop();
+}
+
+TEST(ServerDaemon, StreamsProgressWhenAsked) {
+  ServerDaemon daemon(1, platform::make_builtin_cluster(1, 30));
+  Mailbox<SedResponse> reply;
+  ExecuteRequest request;
+  request.request_id = 5;
+  request.scenarios = 4;
+  request.months = 10;  // 40 main tasks
+  request.progress_every = 10;
+  request.reply = &reply;
+  daemon.inbox().send(SedRequest{request});
+
+  int updates = 0;
+  Count last_done = 0;
+  Seconds last_time = -1.0;
+  for (;;) {
+    const auto response = reply.receive();
+    ASSERT_TRUE(response.has_value());
+    if (const auto* progress = std::get_if<ProgressUpdate>(&*response)) {
+      ++updates;
+      EXPECT_GT(progress->months_done, last_done);   // monotone progress
+      EXPECT_GT(progress->simulated_time, last_time);
+      EXPECT_EQ(progress->months_total, 40);
+      last_done = progress->months_done;
+      last_time = progress->simulated_time;
+      continue;
+    }
+    const auto& exec = std::get<ExecuteResponse>(*response);
+    EXPECT_EQ(exec.mains_executed, 40);
+    break;
+  }
+  EXPECT_EQ(updates, 4);  // 10, 20, 30, 40
+  EXPECT_EQ(last_done, 40);
+  daemon.stop();
+}
+
+TEST(ServerDaemon, NoProgressByDefault) {
+  ServerDaemon daemon(0, platform::make_builtin_cluster(0, 25));
+  Mailbox<SedResponse> reply;
+  ExecuteRequest request;
+  request.request_id = 6;
+  request.scenarios = 2;
+  request.months = 5;
+  request.reply = &reply;
+  daemon.inbox().send(SedRequest{request});
+  const auto response = reply.receive();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(std::holds_alternative<ExecuteResponse>(*response));
+  EXPECT_EQ(reply.try_receive(), std::nullopt);
+  daemon.stop();
+}
+
+TEST(ServerDaemon, StopIsIdempotent) {
+  ServerDaemon daemon(0, platform::make_builtin_cluster(0, 20));
+  daemon.stop();
+  daemon.stop();
+}
+
+TEST(MasterAgent, DeploysFleetFromGrid) {
+  MasterAgent agent(platform::make_builtin_grid(20));
+  EXPECT_EQ(agent.daemon_count(), 5);
+  EXPECT_EQ(agent.daemon(2).cluster().name(), "chicon");
+  EXPECT_THROW((void)agent.daemon(5), std::invalid_argument);
+  agent.shutdown();
+}
+
+TEST(Client, FullCampaignMatchesDirectSimulation) {
+  // The middleware path (Figure 9's six steps) must land on exactly the
+  // same repartition and makespan as the in-process grid simulation.
+  const auto grid = platform::make_builtin_grid(30);
+  const Ensemble ensemble{8, 10};
+  const auto heuristic = sched::Heuristic::kKnapsack;
+
+  const sim::GridSimResult direct = sim::simulate_grid(grid, ensemble, heuristic);
+
+  MasterAgent agent(grid);
+  Client client(agent);
+  const CampaignResult campaign = client.submit(ensemble, heuristic);
+  agent.shutdown();
+
+  EXPECT_EQ(campaign.repartition.dags_per_cluster,
+            direct.repartition.dags_per_cluster);
+  EXPECT_DOUBLE_EQ(campaign.makespan, direct.makespan);
+  // Executions arrive only from clusters that got work.
+  for (const auto& exec : campaign.executions) {
+    EXPECT_GT(exec.scenarios_run, 0);
+    EXPECT_EQ(exec.mains_executed, exec.scenarios_run * ensemble.months);
+  }
+}
+
+TEST(Client, SequentialCampaignsReuseTheFleet) {
+  MasterAgent agent(platform::make_builtin_grid(25).prefix(3));
+  Client client(agent);
+  const CampaignResult first = client.submit(Ensemble{4, 6},
+                                             sched::Heuristic::kBasic);
+  const CampaignResult second = client.submit(Ensemble{6, 6},
+                                              sched::Heuristic::kKnapsack);
+  EXPECT_EQ(first.repartition.total_dags(), 4);
+  EXPECT_EQ(second.repartition.total_dags(), 6);
+  agent.shutdown();
+}
+
+TEST(Client, ConcurrentClientsDoNotInterfere) {
+  MasterAgent agent(platform::make_builtin_grid(25).prefix(3));
+  CampaignResult r1, r2;
+  std::thread t1([&] {
+    Client c(agent);
+    r1 = c.submit(Ensemble{5, 8}, sched::Heuristic::kKnapsack);
+  });
+  std::thread t2([&] {
+    Client c(agent);
+    r2 = c.submit(Ensemble{5, 8}, sched::Heuristic::kKnapsack);
+  });
+  t1.join();
+  t2.join();
+  agent.shutdown();
+  // Identical requests -> identical results, regardless of interleaving.
+  EXPECT_EQ(r1.repartition.dags_per_cluster, r2.repartition.dags_per_cluster);
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+}
+
+TEST(Client, RejectsEmptyFleet) {
+  MasterAgent agent;
+  Client client(agent);
+  EXPECT_THROW((void)client.submit(Ensemble{2, 2}, sched::Heuristic::kBasic),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oagrid::middleware

@@ -1,0 +1,184 @@
+#include "sched/generic_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "appmodel/month.hpp"
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+
+namespace oagrid::sched {
+namespace {
+
+/// The Ocean-Atmosphere fused template as a ChainWorkload.
+ChainWorkload oa_workload(Count chains, Count instances) {
+  const appmodel::FusedMonth month = appmodel::make_fused_month();
+  ChainWorkload w;
+  w.template_dag = month.graph;
+  w.links = {dag::CrossLink{month.main, month.main, 120.0}};
+  w.chains = chains;
+  w.instances = instances;
+  return w;
+}
+
+MoldableDuration oa_duration(const platform::Cluster& cluster) {
+  return [&cluster](dag::NodeId v, ProcCount p) -> Seconds {
+    // Node 0 = fused main (moldable), node 1 = fused post.
+    if (v == 0) return cluster.main_time(p);
+    return cluster.post_time();
+  };
+}
+
+TEST(GenericChain, PeelsThePostTask) {
+  const auto cluster = platform::make_builtin_cluster(1, 53);
+  const GenericChainScheduler scheduler(oa_workload(10, 150),
+                                        oa_duration(cluster), 4, 11);
+  // The fused post is rigid, has no moldable descendant and sources no cross
+  // link: it is the tail. The fused main sources the cross link: body.
+  EXPECT_EQ(scheduler.tail_nodes(), std::vector<dag::NodeId>{1});
+  EXPECT_DOUBLE_EQ(scheduler.tail_time(), cluster.post_time());
+}
+
+TEST(GenericChain, BodyTimeIsMainTime) {
+  const auto cluster = platform::make_builtin_cluster(1, 53);
+  const GenericChainScheduler scheduler(oa_workload(10, 150),
+                                        oa_duration(cluster), 4, 11);
+  for (ProcCount g = 4; g <= 11; ++g)
+    EXPECT_DOUBLE_EQ(scheduler.body_time(g), cluster.main_time(g));
+}
+
+TEST(GenericChain, ReducesToKnapsackGroupingOnOceanAtmosphere) {
+  // The future-work generalization must specialize exactly to Improvement 3
+  // on the paper's own workload.
+  const appmodel::Ensemble ensemble{10, 150};
+  for (const ProcCount r : {17, 23, 31, 40, 53, 64, 77, 90, 110}) {
+    const auto cluster = platform::make_builtin_cluster(1, r);
+    const GenericChainScheduler scheduler(
+        oa_workload(ensemble.scenarios, ensemble.months), oa_duration(cluster),
+        4, 11);
+    const GroupSchedule generic = scheduler.schedule(r);
+    const GroupSchedule knapsack = knapsack_grouping(cluster, ensemble);
+    EXPECT_EQ(generic.group_sizes, knapsack.group_sizes) << "R=" << r;
+    EXPECT_EQ(generic.post_pool, knapsack.post_pool) << "R=" << r;
+  }
+}
+
+TEST(GenericChain, VirtualClusterMatchesRealCluster) {
+  const auto cluster = platform::make_builtin_cluster(2, 40);
+  const GenericChainScheduler scheduler(oa_workload(10, 150),
+                                        oa_duration(cluster), 4, 11);
+  const platform::Cluster virt = scheduler.virtual_cluster("virt", 40);
+  for (ProcCount g = 4; g <= 11; ++g)
+    EXPECT_DOUBLE_EQ(virt.main_time(g), cluster.main_time(g));
+  EXPECT_DOUBLE_EQ(virt.post_time(), cluster.post_time());
+}
+
+TEST(GenericChain, CrossLinkSourceStaysInBody) {
+  // Template: moldable work -> rigid relay -> rigid tail, where the relay
+  // sources the cross link: only the tail is peeled.
+  dag::Dag tmpl;
+  dag::TaskSpec work;
+  work.name = "work";
+  work.shape = dag::TaskShape::kMoldable;
+  work.ref_duration = 100;
+  work.min_procs = 1;
+  work.max_procs = 8;
+  const auto w = tmpl.add_task(work);
+  dag::TaskSpec relay;
+  relay.name = "relay";
+  relay.ref_duration = 5;
+  const auto rel = tmpl.add_task(relay);
+  dag::TaskSpec tail;
+  tail.name = "tail";
+  tail.ref_duration = 7;
+  const auto tl = tmpl.add_task(tail);
+  tmpl.add_edge(w, rel);
+  tmpl.add_edge(rel, tl);
+  tmpl.freeze();
+
+  ChainWorkload workload;
+  workload.template_dag = tmpl;
+  workload.links = {dag::CrossLink{rel, w, 0.0}};
+  workload.chains = 4;
+  workload.instances = 10;
+
+  const MoldableDuration duration = [](dag::NodeId v, ProcCount p) -> Seconds {
+    if (v == 0) return 100.0 / static_cast<double>(p);
+    return v == 1 ? 5.0 : 7.0;
+  };
+  const GenericChainScheduler scheduler(workload, duration, 1, 8);
+  EXPECT_EQ(scheduler.tail_nodes(), std::vector<dag::NodeId>{tl});
+  EXPECT_DOUBLE_EQ(scheduler.tail_time(), 7.0);
+  // Body = work + relay on the critical path.
+  EXPECT_DOUBLE_EQ(scheduler.body_time(4), 25.0 + 5.0);
+}
+
+TEST(GenericChain, NoTailWhenEverythingIsLinked) {
+  // Every node sources a cross link: nothing peels; tail time is zero and
+  // the virtual cluster has a zero post task.
+  dag::Dag tmpl;
+  dag::TaskSpec work;
+  work.name = "w";
+  work.shape = dag::TaskShape::kMoldable;
+  work.ref_duration = 10;
+  work.min_procs = 1;
+  work.max_procs = 4;
+  tmpl.add_task(work);
+  tmpl.freeze();
+  ChainWorkload workload;
+  workload.template_dag = tmpl;
+  workload.links = {dag::CrossLink{0, 0, 0.0}};
+  workload.chains = 2;
+  workload.instances = 5;
+  const GenericChainScheduler scheduler(
+      workload,
+      [](dag::NodeId, ProcCount p) { return 10.0 / static_cast<double>(p); }, 1,
+      4);
+  EXPECT_TRUE(scheduler.tail_nodes().empty());
+  EXPECT_DOUBLE_EQ(scheduler.tail_time(), 0.0);
+  const platform::Cluster virt = scheduler.virtual_cluster("v", 8);
+  EXPECT_DOUBLE_EQ(virt.post_time(), 0.0);
+}
+
+TEST(GenericChain, MidChainRigidBetweenMoldablesNotPeeled) {
+  // rigid between two moldable tasks has a moldable descendant: body.
+  dag::Dag tmpl;
+  dag::TaskSpec m1;
+  m1.name = "m1";
+  m1.shape = dag::TaskShape::kMoldable;
+  m1.ref_duration = 10;
+  m1.min_procs = 1;
+  m1.max_procs = 4;
+  const auto a = tmpl.add_task(m1);
+  dag::TaskSpec r;
+  r.name = "mid";
+  r.ref_duration = 3;
+  const auto b = tmpl.add_task(r);
+  dag::TaskSpec m2 = m1;
+  m2.name = "m2";
+  const auto c = tmpl.add_task(m2);
+  tmpl.add_edge(a, b);
+  tmpl.add_edge(b, c);
+  tmpl.freeze();
+  ChainWorkload workload;
+  workload.template_dag = tmpl;
+  workload.chains = 2;
+  workload.instances = 3;
+  const GenericChainScheduler scheduler(
+      workload,
+      [](dag::NodeId v, ProcCount p) {
+        return v == 1 ? 3.0 : 10.0 / static_cast<double>(p);
+      },
+      1, 4);
+  EXPECT_TRUE(scheduler.tail_nodes().empty());  // m2 itself is moldable
+  EXPECT_DOUBLE_EQ(scheduler.body_time(2), 5.0 + 3.0 + 5.0);
+}
+
+TEST(GenericChain, Validation) {
+  dag::Dag unfrozen;
+  ChainWorkload w;
+  w.template_dag = unfrozen;
+  EXPECT_THROW(GenericChainScheduler(w, {}, 1, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oagrid::sched

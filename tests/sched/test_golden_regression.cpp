@@ -1,0 +1,73 @@
+/// \file test_golden_regression.cpp
+/// \brief Golden pins: exact decision values the reproduction currently
+/// produces on the reference profiles. These are not derived from the paper
+/// (absolute tables differ); they freeze today's behavior so an accidental
+/// change to the profiles, the knapsack tie-breaks or the formulas shows up
+/// as a diff here rather than as a silent drift of every figure.
+
+#include <gtest/gtest.h>
+
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/makespan_model.hpp"
+#include "sim/ensemble_sim.hpp"
+
+namespace oagrid::sched {
+namespace {
+
+using appmodel::Ensemble;
+
+TEST(Golden, ReferenceClusterTable) {
+  const auto c = platform::make_builtin_cluster(1, 53);
+  const double expected[] = {4720.1, 2742.9, 2083.8, 1754.3,
+                             1556.6, 1424.8, 1330.6, 1260.0};
+  for (ProcCount g = 4; g <= 11; ++g)
+    EXPECT_NEAR(c.main_time(g), expected[g - 4], 0.5) << "G=" << g;
+  EXPECT_NEAR(c.post_time(), 180.0, 1e-9);
+}
+
+TEST(Golden, BestUniformGroupingSamples) {
+  const Ensemble e{10, 150};
+  const struct {
+    ProcCount r;
+    ProcCount best_g;
+  } pins[] = {{11, 11}, {20, 10}, {31, 6}, {40, 8}, {53, 7},
+              {64, 7},  {77, 8},  {90, 9}, {101, 10}, {120, 11}};
+  for (const auto& pin : pins) {
+    const auto c = platform::make_builtin_cluster(1, pin.r);
+    EXPECT_EQ(best_uniform_grouping(c, e).group_size, pin.best_g)
+        << "R=" << pin.r;
+  }
+}
+
+TEST(Golden, KnapsackGroupingsAtKeyResources) {
+  const Ensemble e{10, 150};
+  const auto describe = [&](ProcCount r) {
+    return knapsack_grouping(platform::make_builtin_cluster(1, r), e)
+        .describe();
+  };
+  EXPECT_EQ(describe(53), "5x7 + 3x6 | pool=0 (pool+retired)");
+  EXPECT_EQ(describe(64), "1x8 + 8x7 | pool=0 (pool+retired)");
+  EXPECT_EQ(describe(110), "10x11 | pool=0 (pool+retired)");
+}
+
+TEST(Golden, SimulatedMakespansAtR53) {
+  const auto c = platform::make_builtin_cluster(1, 53);
+  const Ensemble e{10, 150};
+  const struct {
+    Heuristic h;
+    double makespan;
+  } pins[] = {
+      {Heuristic::kBasic, 377355.0},
+      {Heuristic::kRedistribute, 358058.4},
+      {Heuristic::kAllForMain, 356081.0},
+      {Heuristic::kKnapsack, 354865.7},
+  };
+  for (const auto& pin : pins)
+    EXPECT_NEAR(sim::simulate_with_heuristic(c, pin.h, e).makespan,
+                pin.makespan, 1.0)
+        << to_string(pin.h);
+}
+
+}  // namespace
+}  // namespace oagrid::sched

@@ -1,0 +1,166 @@
+#include "sched/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "platform/profiles.hpp"
+
+namespace oagrid::sched {
+namespace {
+
+using appmodel::Ensemble;
+
+const Ensemble kPaper{10, 150};
+
+std::map<ProcCount, int> histogram(const GroupSchedule& s) {
+  std::map<ProcCount, int> h;
+  for (const ProcCount g : s.group_sizes) ++h[g];
+  return h;
+}
+
+TEST(Basic, PaperExampleR53) {
+  // §4.2: R = 53, NS = 10 -> 7 groups of 7 and 4 processors left for posts.
+  const auto c = platform::make_builtin_cluster(1, 53);
+  const GroupSchedule s = basic_grouping(c, kPaper);
+  EXPECT_EQ(s.group_count(), 7);
+  EXPECT_EQ(histogram(s), (std::map<ProcCount, int>{{7, 7}}));
+  EXPECT_EQ(s.post_pool, 4);
+  EXPECT_EQ(s.post_policy, PostPolicy::kPoolThenRetired);
+}
+
+TEST(Redistribute, PaperExampleR53) {
+  // §4.2 Improvement 1: "3 groups with 8 resources and 4 groups with 7
+  // resources and 1 resource for the post processing tasks".
+  const auto c = platform::make_builtin_cluster(1, 53);
+  const GroupSchedule s = redistribute_grouping(c, kPaper);
+  EXPECT_EQ(histogram(s), (std::map<ProcCount, int>{{8, 3}, {7, 4}}));
+  EXPECT_EQ(s.post_pool, 1);
+  EXPECT_EQ(s.total_resources(), 53);
+}
+
+TEST(AllForMain, UsesEverythingForGroups) {
+  const auto c = platform::make_builtin_cluster(1, 53);
+  const GroupSchedule s = all_for_main_grouping(c, kPaper);
+  EXPECT_EQ(s.post_pool, 0);
+  EXPECT_EQ(s.post_policy, PostPolicy::kAllAtEnd);
+  // All 53 fit: base 7x7 = 49 plus 4 spread -> 4 groups of 8, 3 of 7.
+  EXPECT_EQ(histogram(s), (std::map<ProcCount, int>{{8, 4}, {7, 3}}));
+  EXPECT_EQ(s.main_resources(), 53);
+}
+
+TEST(AllForMain, SaturationLeavesProcessorsUnused) {
+  // R = 115, NS = 10: basic gives 10 groups of 11 = 110; the 5 spare cannot
+  // grow any group past 11, so they stay unused (not in the pool — posts run
+  // at the end on the whole cluster anyway).
+  const auto c = platform::make_builtin_cluster(1, 115);
+  const GroupSchedule s = all_for_main_grouping(c, kPaper);
+  EXPECT_EQ(histogram(s), (std::map<ProcCount, int>{{11, 10}}));
+  EXPECT_EQ(s.post_pool, 0);
+}
+
+TEST(Knapsack, UsesAllProcessorsAtR53) {
+  const auto c = platform::make_builtin_cluster(1, 53);
+  const GroupSchedule s = knapsack_grouping(c, kPaper);
+  s.validate(c);
+  EXPECT_LE(s.group_count(), 10);
+  // The knapsack objective strictly improves on the basic 7x7 grouping.
+  double value = 0;
+  for (const ProcCount g : s.group_sizes) value += 1.0 / c.main_time(g);
+  EXPECT_GT(value, 7.0 / c.main_time(7));
+}
+
+TEST(Knapsack, AbundantResourcesGiveTenElevens) {
+  const auto c = platform::make_builtin_cluster(1, 120);
+  const GroupSchedule s = knapsack_grouping(c, kPaper);
+  EXPECT_EQ(histogram(s), (std::map<ProcCount, int>{{11, 10}}));
+  EXPECT_EQ(s.post_pool, 120 - 110);
+}
+
+TEST(Knapsack, GroupSizesSortedDescending) {
+  const auto c = platform::make_builtin_cluster(1, 47);
+  const GroupSchedule s = knapsack_grouping(c, kPaper);
+  EXPECT_TRUE(std::is_sorted(s.group_sizes.rbegin(), s.group_sizes.rend()));
+}
+
+class HeuristicInvariants
+    : public ::testing::TestWithParam<std::tuple<Heuristic, ProcCount>> {};
+
+TEST_P(HeuristicInvariants, ScheduleIsValidAndBounded) {
+  const auto [heuristic, resources] = GetParam();
+  const auto c = platform::make_builtin_cluster(2, resources);
+  const GroupSchedule s = make_schedule(heuristic, c, kPaper);
+  EXPECT_NO_THROW(s.validate(c));
+  EXPECT_GE(s.group_count(), 1);
+  EXPECT_LE(s.group_count(), static_cast<int>(kPaper.scenarios));
+  EXPECT_LE(s.total_resources(), resources);
+  for (const ProcCount g : s.group_sizes) {
+    EXPECT_GE(g, 4);
+    EXPECT_LE(g, 11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HeuristicInvariants,
+    ::testing::Combine(::testing::Values(Heuristic::kBasic,
+                                         Heuristic::kRedistribute,
+                                         Heuristic::kAllForMain,
+                                         Heuristic::kKnapsack),
+                       ::testing::Values<ProcCount>(11, 17, 23, 31, 40, 53, 64,
+                                                    77, 90, 101, 120)));
+
+TEST(Heuristics, TooSmallClusterThrows) {
+  const auto c = platform::make_builtin_cluster(0, 3);
+  for (const Heuristic h :
+       {Heuristic::kBasic, Heuristic::kRedistribute, Heuristic::kAllForMain,
+        Heuristic::kKnapsack})
+    EXPECT_THROW((void)make_schedule(h, c, kPaper), std::invalid_argument) << to_string(h);
+}
+
+TEST(Heuristics, Names) {
+  EXPECT_STREQ(to_string(Heuristic::kBasic), "basic");
+  EXPECT_STREQ(to_string(Heuristic::kKnapsack), "knapsack (imp.3)");
+}
+
+TEST(GroupSchedule, DescribeReadsLikeThePaper) {
+  const auto c = platform::make_builtin_cluster(1, 53);
+  const GroupSchedule s = redistribute_grouping(c, kPaper);
+  EXPECT_EQ(s.describe(), "3x8 + 4x7 | pool=1 (pool+retired)");
+}
+
+TEST(GroupSchedule, ValidateCatchesOversubscription) {
+  const auto c = platform::make_builtin_cluster(1, 20);
+  GroupSchedule s;
+  s.group_sizes = {11, 11};  // 22 > 20
+  EXPECT_THROW(s.validate(c), std::invalid_argument);
+  s.group_sizes = {3};  // below min group
+  EXPECT_THROW(s.validate(c), std::invalid_argument);
+  s.group_sizes = {};
+  EXPECT_THROW(s.validate(c), std::invalid_argument);
+  s.group_sizes = {11};
+  s.post_pool = -1;
+  EXPECT_THROW(s.validate(c), std::invalid_argument);
+}
+
+TEST(Redistribute, NeverExceedsMaxGroupSize) {
+  for (ProcCount r = 11; r <= 130; r += 7) {
+    const auto c = platform::make_builtin_cluster(3, r);
+    const GroupSchedule s = redistribute_grouping(c, kPaper);
+    for (const ProcCount g : s.group_sizes) EXPECT_LE(g, 11) << "R=" << r;
+  }
+}
+
+TEST(Redistribute, PoolNeverLargerThanBasic) {
+  for (ProcCount r = 11; r <= 130; r += 3) {
+    const auto c = platform::make_builtin_cluster(1, r);
+    const GroupSchedule basic = basic_grouping(c, kPaper);
+    const GroupSchedule redist = redistribute_grouping(c, kPaper);
+    EXPECT_LE(redist.post_pool, basic.post_pool) << "R=" << r;
+    EXPECT_GE(redist.main_resources(), basic.main_resources()) << "R=" << r;
+  }
+}
+
+}  // namespace
+}  // namespace oagrid::sched

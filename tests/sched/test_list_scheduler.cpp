@@ -1,0 +1,173 @@
+#include "sched/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oagrid::sched {
+namespace {
+
+dag::TaskSpec rigid(const std::string& name, Seconds t, ProcCount p = 1) {
+  dag::TaskSpec s;
+  s.name = name;
+  s.ref_duration = t;
+  s.procs = p;
+  return s;
+}
+
+dag::TaskSpec moldable(const std::string& name, Seconds t, ProcCount lo,
+                       ProcCount hi) {
+  dag::TaskSpec s;
+  s.name = name;
+  s.shape = dag::TaskShape::kMoldable;
+  s.ref_duration = t;
+  s.min_procs = lo;
+  s.max_procs = hi;
+  return s;
+}
+
+MoldableDuration ref_duration(const dag::Dag& g) {
+  return [&g](dag::NodeId v, ProcCount p) {
+    // Perfect scaling from the reference duration for moldable tasks.
+    const dag::TaskSpec& spec = g.task(v);
+    if (spec.shape == dag::TaskShape::kMoldable)
+      return spec.ref_duration / static_cast<double>(p);
+    return spec.ref_duration;
+  };
+}
+
+TEST(Allotment, MinimalUsesMinWidths) {
+  dag::Dag g;
+  g.add_task(rigid("r", 1, 3));
+  g.add_task(moldable("m", 10, 2, 8));
+  g.freeze();
+  const Allotment a = Allotment::minimal(g);
+  EXPECT_EQ(a.procs, (std::vector<ProcCount>{3, 2}));
+}
+
+TEST(BottomLevels, ChainAccumulates) {
+  dag::Dag g;
+  const auto a = g.add_task(rigid("a", 5));
+  const auto b = g.add_task(rigid("b", 3));
+  const auto c = g.add_task(rigid("c", 2));
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.freeze();
+  const auto levels = bottom_levels(g, Allotment::minimal(g), ref_duration(g));
+  EXPECT_DOUBLE_EQ(levels[static_cast<std::size_t>(a)], 10);
+  EXPECT_DOUBLE_EQ(levels[static_cast<std::size_t>(b)], 5);
+  EXPECT_DOUBLE_EQ(levels[static_cast<std::size_t>(c)], 2);
+}
+
+TEST(ListSchedule, SerialChainOnOneProcessor) {
+  dag::Dag g;
+  const auto a = g.add_task(rigid("a", 5));
+  const auto b = g.add_task(rigid("b", 3));
+  g.add_edge(a, b);
+  g.freeze();
+  const auto result = list_schedule(g, Allotment::minimal(g), 1, ref_duration(g));
+  EXPECT_DOUBLE_EQ(result.makespan, 8);
+  EXPECT_DOUBLE_EQ(result.start[static_cast<std::size_t>(b)], 5);
+}
+
+TEST(ListSchedule, IndependentTasksRunInParallel) {
+  dag::Dag g;
+  g.add_task(rigid("a", 5));
+  g.add_task(rigid("b", 5));
+  g.freeze();
+  EXPECT_DOUBLE_EQ(
+      list_schedule(g, Allotment::minimal(g), 2, ref_duration(g)).makespan, 5);
+  EXPECT_DOUBLE_EQ(
+      list_schedule(g, Allotment::minimal(g), 1, ref_duration(g)).makespan, 10);
+}
+
+TEST(ListSchedule, WideTaskWaitsForEnoughProcessors) {
+  dag::Dag g;
+  g.add_task(rigid("narrow", 4, 1));
+  g.add_task(rigid("wide", 2, 3));
+  g.freeze();
+  // 3 processors: "wide" (bottom level 2) < "narrow" (4): narrow first on 1
+  // proc, wide needs 3 -> starts immediately too (3 free at t=0? narrow took
+  // one, wide needs 3 of 3 -> waits until t=4).
+  const auto result = list_schedule(g, Allotment::minimal(g), 3, ref_duration(g));
+  EXPECT_DOUBLE_EQ(result.start[0], 0);
+  EXPECT_DOUBLE_EQ(result.start[1], 4);
+  EXPECT_DOUBLE_EQ(result.makespan, 6);
+}
+
+TEST(ListSchedule, HigherPriorityGoesFirst) {
+  dag::Dag g;
+  const auto small = g.add_task(rigid("small", 1));
+  const auto big = g.add_task(rigid("big", 9));
+  g.freeze();
+  const auto result = list_schedule(g, Allotment::minimal(g), 1, ref_duration(g));
+  // Bottom level of big (9) beats small (1): big runs first.
+  EXPECT_DOUBLE_EQ(result.start[static_cast<std::size_t>(big)], 0);
+  EXPECT_DOUBLE_EQ(result.start[static_cast<std::size_t>(small)], 9);
+}
+
+TEST(ListSchedule, MoldableAllotmentShortensTask) {
+  dag::Dag g;
+  g.add_task(moldable("m", 12, 1, 4));
+  g.freeze();
+  Allotment a = Allotment::minimal(g);
+  EXPECT_DOUBLE_EQ(list_schedule(g, a, 4, ref_duration(g)).makespan, 12);
+  a.procs[0] = 4;
+  EXPECT_DOUBLE_EQ(list_schedule(g, a, 4, ref_duration(g)).makespan, 3);
+}
+
+TEST(ListSchedule, DependenciesRespectedUnderContention) {
+  // Two chains sharing one processor: finish times must nest correctly.
+  dag::Dag g;
+  const auto a1 = g.add_task(rigid("a1", 2));
+  const auto a2 = g.add_task(rigid("a2", 2));
+  const auto b1 = g.add_task(rigid("b1", 3));
+  const auto b2 = g.add_task(rigid("b2", 3));
+  g.add_edge(a1, a2);
+  g.add_edge(b1, b2);
+  g.freeze();
+  const auto result = list_schedule(g, Allotment::minimal(g), 1, ref_duration(g));
+  EXPECT_DOUBLE_EQ(result.makespan, 10);
+  EXPECT_GE(result.start[static_cast<std::size_t>(a2)],
+            result.finish[static_cast<std::size_t>(a1)]);
+  EXPECT_GE(result.start[static_cast<std::size_t>(b2)],
+            result.finish[static_cast<std::size_t>(b1)]);
+}
+
+TEST(ListSchedule, Validation) {
+  dag::Dag g;
+  g.add_task(rigid("a", 1, 4));
+  g.freeze();
+  const Allotment a = Allotment::minimal(g);
+  EXPECT_THROW((void)list_schedule(g, a, 3, ref_duration(g)),
+               std::invalid_argument);  // allotment 4 > resources 3
+  EXPECT_THROW((void)list_schedule(g, a, 0, ref_duration(g)),
+               std::invalid_argument);
+  Allotment wrong;
+  EXPECT_THROW((void)list_schedule(g, wrong, 4, ref_duration(g)),
+               std::invalid_argument);
+  dag::Dag unfrozen;
+  unfrozen.add_task(rigid("x", 1));
+  EXPECT_THROW((void)list_schedule(unfrozen, Allotment{{1}}, 1,
+                                   ref_duration(unfrozen)),
+               std::invalid_argument);
+}
+
+TEST(ListSchedule, MakespanNeverBelowCriticalPathOrArea) {
+  dag::Dag g;
+  const auto a = g.add_task(rigid("a", 5));
+  const auto b = g.add_task(rigid("b", 7));
+  const auto c = g.add_task(rigid("c", 3));
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  g.freeze();
+  for (ProcCount r = 1; r <= 4; ++r) {
+    const auto result =
+        list_schedule(g, Allotment::minimal(g), r, ref_duration(g));
+    EXPECT_GE(result.makespan, 10.0);                       // critical path
+    EXPECT_GE(result.makespan, 15.0 / static_cast<double>(r) - 1e-9);  // area
+  }
+}
+
+}  // namespace
+}  // namespace oagrid::sched

@@ -1,0 +1,108 @@
+#include "sched/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/ensemble_sim.hpp"
+#include "sim/grid_sim.hpp"
+
+namespace oagrid::sched {
+namespace {
+
+using appmodel::Ensemble;
+
+TEST(LowerBounds, MinHelpersOnMonotoneTable) {
+  const auto c = platform::make_builtin_cluster(1, 40);
+  // Monotone table: min time at the largest group. Min area sits at the
+  // efficiency sweet spot — the 4-proc group pays the full sequential
+  // atmosphere, larger groups amortize it until overhead wins (G = 7 here).
+  EXPECT_DOUBLE_EQ(min_main_time(c), c.main_time(11));
+  double expected = kInfiniteTime;
+  ProcCount argmin = 0;
+  for (ProcCount g = 4; g <= 11; ++g) {
+    const double area = static_cast<double>(g) * c.main_time(g);
+    if (area < expected) {
+      expected = area;
+      argmin = g;
+    }
+  }
+  EXPECT_DOUBLE_EQ(min_main_area(c), expected);
+  EXPECT_EQ(argmin, 7);
+}
+
+TEST(LowerBounds, ChainBoundDominatesWhenScenariosFew) {
+  // 1 scenario, many processors: the chain is the binding constraint.
+  const auto c = platform::make_builtin_cluster(1, 110);
+  const Ensemble e{1, 40};
+  const MakespanBounds b = ensemble_lower_bounds(c, e);
+  EXPECT_GT(b.chain_bound, b.area_bound);
+  EXPECT_DOUBLE_EQ(b.combined(), b.chain_bound);
+}
+
+TEST(LowerBounds, AreaBoundDominatesWhenProcessorsFew) {
+  const auto c = platform::make_builtin_cluster(1, 11);
+  const Ensemble e{10, 40};
+  const MakespanBounds b = ensemble_lower_bounds(c, e);
+  EXPECT_GT(b.area_bound, b.chain_bound);
+}
+
+TEST(LowerBounds, EveryHeuristicRespectsTheBound) {
+  const Ensemble e{10, 30};
+  for (ProcCount r = 11; r <= 120; r += 13) {
+    for (int profile = 0; profile < 5; profile += 2) {
+      const auto c = platform::make_builtin_cluster(profile, r);
+      const Seconds bound = ensemble_lower_bounds(c, e).combined();
+      for (const auto h :
+           {Heuristic::kBasic, Heuristic::kRedistribute, Heuristic::kAllForMain,
+            Heuristic::kKnapsack}) {
+        const Seconds ms = sim::simulate_with_heuristic(c, h, e).makespan;
+        EXPECT_GE(ms, bound - 1e-6)
+            << to_string(h) << " R=" << r << " profile=" << profile;
+      }
+    }
+  }
+}
+
+TEST(LowerBounds, KnapsackNearBoundAtAbundantResources) {
+  // With NS groups of 11 the chain bound is tight up to the post tail.
+  const auto c = platform::make_builtin_cluster(1, 110);
+  const Ensemble e{10, 30};
+  const Seconds bound = ensemble_lower_bounds(c, e).combined();
+  const Seconds ms =
+      sim::simulate_with_heuristic(c, Heuristic::kKnapsack, e).makespan;
+  EXPECT_LT(ms / bound, 1.02);
+}
+
+TEST(LowerBounds, GridBoundsRespected) {
+  const Ensemble e{10, 20};
+  for (ProcCount r = 15; r <= 60; r += 15) {
+    const auto grid = platform::make_builtin_grid(r);
+    const Seconds bound = grid_lower_bounds(grid, e).combined();
+    const Seconds ms =
+        sim::simulate_grid(grid, e, Heuristic::kKnapsack).makespan;
+    EXPECT_GE(ms, bound - 1e-6) << "R=" << r;
+  }
+}
+
+TEST(LowerBounds, GridChainUsesFastestCluster) {
+  const auto grid = platform::make_builtin_grid(200);
+  const Ensemble e{1, 10};
+  const MakespanBounds b = grid_lower_bounds(grid, e);
+  const auto fastest = platform::make_builtin_cluster(0, 200);
+  EXPECT_DOUBLE_EQ(
+      b.chain_bound,
+      10.0 * min_main_time(fastest) + fastest.post_time());
+}
+
+TEST(LowerBounds, Validation) {
+  const auto c = platform::make_builtin_cluster(1, 20);
+  EXPECT_THROW((void)ensemble_lower_bounds(c, Ensemble{0, 5}),
+               std::invalid_argument);
+  const platform::Grid empty;
+  EXPECT_THROW((void)grid_lower_bounds(empty, Ensemble{2, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oagrid::sched

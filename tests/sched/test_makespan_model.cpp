@@ -1,0 +1,186 @@
+#include "sched/makespan_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "platform/profiles.hpp"
+
+namespace oagrid::sched {
+namespace {
+
+using appmodel::Ensemble;
+using platform::Cluster;
+
+/// Synthetic cluster with easy numbers: TG = 100 for every G in [4, 11],
+/// TP = 10 (so floor(TG/TP) = 10 posts per processor per set).
+Cluster flat_cluster(ProcCount resources) {
+  return Cluster("flat", resources, 4,
+                 {100, 100, 100, 100, 100, 100, 100, 100}, 10.0);
+}
+
+TEST(MakespanModel, InfeasibleWhenClusterSmallerThanGroup) {
+  // resources = 5 supports G = 4 and 5 but not more. G = 5 uses the whole
+  // cluster for one group: R2 = 0, nbused = 0 -> Equation 2.
+  const Cluster c = flat_cluster(5);
+  const auto e = evaluate_uniform_grouping(c, Ensemble{2, 3}, 5);
+  EXPECT_EQ(e.regime, MakespanRegime::kNoPoolExact);
+  EXPECT_THROW(
+      (void)evaluate_uniform_grouping(c, Ensemble{2, 3}, 12),
+      std::invalid_argument);  // outside table range
+  const auto e6 = evaluate_uniform_grouping(flat_cluster(5).with_resources(4),
+                                            Ensemble{2, 3}, 5);
+  EXPECT_EQ(e6.regime, MakespanRegime::kInfeasible);
+  EXPECT_EQ(e6.makespan, kInfiniteTime);
+}
+
+TEST(MakespanModel, Equation2NoPoolExact) {
+  // R = 8, G = 4 -> nbmax = 2 groups, R2 = 0. NS = 2, NM = 4 -> nbtasks = 8,
+  // nbused = 0, n = 4 sets. MSmulti = 400. Posts: ceil(8/8) = 1 wave of 10 s.
+  const Cluster c = flat_cluster(8);
+  const auto e = evaluate_uniform_grouping(c, Ensemble{2, 4}, 4);
+  EXPECT_EQ(e.regime, MakespanRegime::kNoPoolExact);
+  EXPECT_EQ(e.nbmax, 2);
+  EXPECT_EQ(e.r2, 0);
+  EXPECT_EQ(e.nbused, 0);
+  EXPECT_EQ(e.sets, 4);
+  EXPECT_DOUBLE_EQ(e.main_phase, 400.0);
+  EXPECT_DOUBLE_EQ(e.makespan, 410.0);
+}
+
+TEST(MakespanModel, Equation3NoPoolPartial) {
+  // R = 8, G = 4, NS = 2, NM = 3 -> nbtasks = 6... nbused = 6 mod 2 = 0;
+  // use NS = 3, NM = 3 -> nbtasks = 9, nbmax = 2, nbused = 1, n = 5.
+  // Rleft = 8 - 4 = 4; absorbed = floor(100/10)*4 = 40 >= 9 - 1, so
+  // remPost = 1 + 0 = 1; MS = 500 + ceil(1/8)*10 = 510.
+  const Cluster c = flat_cluster(8);
+  const auto e = evaluate_uniform_grouping(c, Ensemble{3, 3}, 4);
+  EXPECT_EQ(e.regime, MakespanRegime::kNoPoolPartial);
+  EXPECT_EQ(e.nbmax, 2);
+  EXPECT_EQ(e.nbused, 1);
+  EXPECT_EQ(e.sets, 5);
+  EXPECT_EQ(e.rem_post, 1);
+  EXPECT_DOUBLE_EQ(e.makespan, 510.0);
+}
+
+TEST(MakespanModel, Equation4PoolKeepsUp) {
+  // R = 9, G = 4 -> nbmax = 2, R2 = 1. Npossible = 10 >= nbmax = 2: no
+  // overpass. NS = 2, NM = 4 -> 8 tasks, 4 sets, MSmulti = 400.
+  // MS = 400 + ceil(2/9)*10 = 410.
+  const Cluster c = flat_cluster(9);
+  const auto e = evaluate_uniform_grouping(c, Ensemble{2, 4}, 4);
+  EXPECT_EQ(e.regime, MakespanRegime::kPoolExact);
+  EXPECT_EQ(e.r2, 1);
+  EXPECT_EQ(e.overpass, 0);
+  EXPECT_DOUBLE_EQ(e.makespan, 410.0);
+}
+
+TEST(MakespanModel, Equation4PoolOverpasses) {
+  // Make the pool too small: TP = 60 so floor(TG/TP) = 1 post per proc per
+  // set; R = 9, G = 4 -> nbmax = 2, R2 = 1, Npossible = 1 < nbmax = 2.
+  // NS = 2, NM = 4: n = 4, overpass = (4-1)*(2-1) = 3, remPost = 5,
+  // MS = 400 + ceil(5/9)*60 = 460.
+  const Cluster c("slowpost", 9, 4, {100, 100, 100, 100, 100, 100, 100, 100},
+                  60.0);
+  const auto e = evaluate_uniform_grouping(c, Ensemble{2, 4}, 4);
+  EXPECT_EQ(e.regime, MakespanRegime::kPoolExact);
+  EXPECT_EQ(e.overpass, 3);
+  EXPECT_EQ(e.rem_post, 5);
+  EXPECT_DOUBLE_EQ(e.makespan, 460.0);
+}
+
+TEST(MakespanModel, Equation5PoolPartial) {
+  // R = 9, G = 4, NS = 3, NM = 3 -> nbtasks = 9, nbmax = 2, nbused = 1,
+  // n = 5, R2 = 1. TP = 60: Npossible = 1, overpass = (5-2)*(2-1) = 3,
+  // overtot = 5. Rleft = 9 - 4 = 5, absorbed = 1*5 = 5 -> remPost = 1.
+  // MS = 500 + ceil(1/9)*60 = 560.
+  const Cluster c("slowpost", 9, 4, {100, 100, 100, 100, 100, 100, 100, 100},
+                  60.0);
+  const auto e = evaluate_uniform_grouping(c, Ensemble{3, 3}, 4);
+  EXPECT_EQ(e.regime, MakespanRegime::kPoolPartial);
+  EXPECT_EQ(e.overpass, 3);
+  EXPECT_EQ(e.rem_post, 1);
+  EXPECT_DOUBLE_EQ(e.makespan, 560.0);
+}
+
+TEST(MakespanModel, Equation5SingleSetClamp) {
+  // n = 1 (fewer tasks than nbmax): the paper's (n-2) term is clamped.
+  // R = 9, G = 4, NS = 3 but NM = 1 and only 1 task... use NS=1, NM=1:
+  // nbmax = min(1, 2) = 1, R1 = 4, R2 = 5 != 0, nbtasks = 1, nbused = 0?
+  // 1 mod 1 = 0 -> Eq 4. For nbused != 0 with n = 1: NS = 3, NM = 1,
+  // nbmax = 2, nbtasks = 3 -> n = 2. Try NS=5 NM=1, R=24, G=4: nbmax = 5,
+  // nbtasks = 5, nbused = 0. Hard to get n=1 with nbused!=0 since
+  // nbused != 0 forces a final partial set; n = 1 means the only set is
+  // partial: nbtasks < nbmax. NS = 5, NM = 1, R = 44, G = 4 -> nbmax =
+  // min(5, 11) = 5, nbtasks = 5, nbused = 0... nbused = nbtasks mod nbmax =
+  // 0. With nbmax > nbtasks impossible since nbmax <= NS = nbtasks/NM.
+  // NM = 1 => nbtasks = NS >= nbmax, so n = 1 and nbused != 0 requires
+  // NS < nbmax, impossible. The clamp is unreachable through the public
+  // API — document by asserting Eq4 handles the n=1 path.
+  const Cluster c = flat_cluster(44);
+  const auto e = evaluate_uniform_grouping(c, Ensemble{5, 1}, 4);
+  EXPECT_EQ(e.regime, MakespanRegime::kPoolExact);
+  EXPECT_EQ(e.sets, 1);
+  EXPECT_DOUBLE_EQ(e.makespan, 100.0 + 10.0);
+}
+
+TEST(MakespanModel, BestUniformPicksGlobalMinimum) {
+  const platform::Cluster c = platform::make_builtin_cluster(1, 53);
+  const UniformChoice choice = best_uniform_grouping(c, Ensemble{10, 150});
+  // Exhaustive check against every G.
+  for (ProcCount g = 4; g <= 11; ++g) {
+    const auto e = evaluate_uniform_grouping(c, Ensemble{10, 150}, g);
+    EXPECT_LE(choice.estimate.makespan, e.makespan) << "G=" << g;
+  }
+}
+
+TEST(MakespanModel, PaperExampleR53BestGroupingIs7) {
+  // §4.2: "for R = 53 resources, and 10 scenario simulations, the optimal
+  // grouping is G = 7" (7 groups of 7 = 49 processors).
+  const platform::Cluster c = platform::make_builtin_cluster(1, 53);
+  const UniformChoice choice = best_uniform_grouping(c, Ensemble{10, 150});
+  EXPECT_EQ(choice.group_size, 7);
+  EXPECT_EQ(choice.estimate.nbmax, 7);
+  EXPECT_EQ(choice.estimate.r1, 49);
+  EXPECT_EQ(choice.estimate.r2, 4);
+}
+
+TEST(MakespanModel, NbmaxCappedByScenarioCount) {
+  // Plenty of processors: nbmax must not exceed NS.
+  const Cluster c = flat_cluster(120);
+  const auto e = evaluate_uniform_grouping(c, Ensemble{3, 5}, 4);
+  EXPECT_EQ(e.nbmax, 3);
+  EXPECT_EQ(e.r1, 12);
+  EXPECT_EQ(e.r2, 108);
+}
+
+TEST(MakespanModel, BestGroupingUsesWholeRangeWhenAbundant) {
+  // With R >= 11*NS the best uniform grouping is G = 11 (fastest groups,
+  // all NS of them) on a monotone table.
+  const platform::Cluster c = platform::make_builtin_cluster(1, 110);
+  const UniformChoice choice = best_uniform_grouping(c, Ensemble{10, 150});
+  EXPECT_EQ(choice.group_size, 11);
+  EXPECT_EQ(choice.estimate.nbmax, 10);
+}
+
+TEST(MakespanModel, MakespanScalesWithMonths) {
+  const platform::Cluster c = platform::make_builtin_cluster(1, 53);
+  const auto short_run = evaluate_uniform_grouping(c, Ensemble{10, 12}, 7);
+  const auto long_run = evaluate_uniform_grouping(c, Ensemble{10, 24}, 7);
+  EXPECT_GT(long_run.makespan, 1.9 * short_run.makespan);
+  EXPECT_LT(long_run.makespan, 2.1 * short_run.makespan);
+}
+
+TEST(MakespanModel, ZeroPostTimeRejected) {
+  const Cluster c("z", 10, 4, {5.0}, 0.0);
+  EXPECT_THROW((void)evaluate_uniform_grouping(c, Ensemble{1, 1}, 4),
+               std::invalid_argument);
+}
+
+TEST(MakespanModel, RegimeNames) {
+  EXPECT_STREQ(to_string(MakespanRegime::kNoPoolExact), "Eq2 (R2=0, nbused=0)");
+  EXPECT_STREQ(to_string(MakespanRegime::kInfeasible), "infeasible");
+}
+
+}  // namespace
+}  // namespace oagrid::sched

@@ -1,0 +1,118 @@
+#include "sched/ragged_repartition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/lower_bounds.hpp"
+#include "sched/repartition.hpp"
+#include "sched/throughput.hpp"
+#include "sim/ensemble_sim.hpp"
+
+namespace oagrid::sched {
+namespace {
+
+TEST(RaggedEstimate, EmptySetIsZero) {
+  const auto c = platform::make_builtin_cluster(1, 30);
+  EXPECT_DOUBLE_EQ(ragged_cluster_estimate(c, {}), 0.0);
+}
+
+TEST(RaggedEstimate, SingleChainIsSerialBound) {
+  const auto c = platform::make_builtin_cluster(1, 30);
+  const std::vector<Count> months{40};
+  EXPECT_NEAR(ragged_cluster_estimate(c, months),
+              40.0 * min_main_time(c) + c.post_time(), 1e-6);
+}
+
+TEST(RaggedEstimate, AggregateBoundBindsForManyShortChains) {
+  const auto c = platform::make_builtin_cluster(1, 22);  // 2 groups max
+  const std::vector<Count> months{10, 10, 10, 10, 10, 10};
+  const double thr = best_throughput(c, 6);
+  EXPECT_NEAR(ragged_cluster_estimate(c, months), 60.0 / thr + c.post_time(),
+              1e-6);
+}
+
+TEST(RaggedEstimate, EstimateLowerBoundsSimulation) {
+  // The estimate is built from two genuine lower bounds (plus TP), so the
+  // DES can never beat it by much; check within a couple of TP.
+  Rng rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto c = platform::make_builtin_cluster(
+        static_cast<int>(rng.uniform_int(0, 4)),
+        static_cast<ProcCount>(rng.uniform_int(12, 80)));
+    std::vector<MonthIndex> months;
+    std::vector<Count> months_c;
+    const Count n = rng.uniform_int(1, 6);
+    for (Count s = 0; s < n; ++s) {
+      months.push_back(static_cast<MonthIndex>(rng.uniform_int(1, 30)));
+      months_c.push_back(months.back());
+    }
+    const auto schedule =
+        knapsack_grouping(c, appmodel::Ensemble{n, 1});
+    const Seconds simulated =
+        sim::simulate_ensemble(c, schedule, months).makespan;
+    const Seconds estimate = ragged_cluster_estimate(c, months_c);
+    EXPECT_GE(simulated, estimate - 3.0 * c.post_time() - 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(RaggedRepartition, UniformChainsMatchAlgorithm1Shape) {
+  // With equal chains the LPT greedy degenerates to Algorithm 1 on the
+  // analytic vectors: same per-cluster counts.
+  const auto grid = platform::make_builtin_grid(30);
+  const Count ns = 10, nm = 60;
+  const std::vector<Count> months(static_cast<std::size_t>(ns), nm);
+  const RaggedRepartition ragged = ragged_repartition(grid, months);
+
+  std::vector<PerformanceVector> perf;
+  for (const auto& c : grid.clusters())
+    perf.push_back(throughput_performance_vector(c, ns, nm));
+  const Repartition uniform = greedy_repartition(perf, ns);
+
+  std::vector<Count> ragged_counts(5, 0);
+  for (const ClusterId c : ragged.assignment)
+    ++ragged_counts[static_cast<std::size_t>(c)];
+  EXPECT_EQ(ragged_counts, uniform.dags_per_cluster);
+}
+
+TEST(RaggedRepartition, LongChainGoesToAFastCluster) {
+  const auto grid = platform::make_builtin_grid(25);
+  const std::vector<Count> months{200, 5, 5, 5};
+  const RaggedRepartition r = ragged_repartition(grid, months);
+  // The 200-month chain is the serial bottleneck: it must land on the
+  // fastest cluster (profile 0).
+  EXPECT_EQ(r.assignment[0], 0);
+}
+
+TEST(RaggedRepartition, GreedyNearBruteForce) {
+  Rng rng(77);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto grid =
+        platform::make_builtin_grid(
+            static_cast<ProcCount>(rng.uniform_int(15, 50)))
+            .prefix(static_cast<int>(rng.uniform_int(2, 3)));
+    std::vector<Count> months;
+    const Count n = rng.uniform_int(2, 7);
+    for (Count s = 0; s < n; ++s) months.push_back(rng.uniform_int(2, 40));
+    const RaggedRepartition greedy = ragged_repartition(grid, months);
+    const RaggedRepartition best = ragged_repartition_brute_force(grid, months);
+    EXPECT_LE(greedy.makespan, best.makespan * 1.25 + 1e-9)
+        << "trial " << trial;
+    EXPECT_GE(greedy.makespan, best.makespan - 1e-9);
+  }
+}
+
+TEST(RaggedRepartition, Validation) {
+  const auto grid = platform::make_builtin_grid(20);
+  EXPECT_THROW((void)ragged_repartition(grid, {}), std::invalid_argument);
+  const std::vector<Count> bad{5, 0};
+  EXPECT_THROW((void)ragged_repartition(grid, bad), std::invalid_argument);
+  const platform::Grid empty;
+  const std::vector<Count> ok{5};
+  EXPECT_THROW((void)ragged_repartition(empty, ok), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oagrid::sched

@@ -1,0 +1,102 @@
+#include "sched/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/perf_vector.hpp"
+
+namespace oagrid::sched {
+namespace {
+
+TEST(Throughput, ZeroWhenNothingFits) {
+  const auto c = platform::make_builtin_cluster(1, 3);
+  EXPECT_DOUBLE_EQ(best_throughput(c, 10), 0.0);
+  const auto c2 = platform::make_builtin_cluster(1, 40);
+  EXPECT_DOUBLE_EQ(best_throughput(c2, 0), 0.0);
+}
+
+TEST(Throughput, MonotoneInGroupsAndResources) {
+  for (Count k = 1; k < 10; ++k) {
+    const auto c = platform::make_builtin_cluster(1, 60);
+    EXPECT_LE(best_throughput(c, k), best_throughput(c, k + 1) + 1e-15);
+  }
+  for (ProcCount r = 11; r < 110; r += 11) {
+    EXPECT_LE(best_throughput(platform::make_builtin_cluster(1, r), 10),
+              best_throughput(platform::make_builtin_cluster(1, r + 11), 10) +
+                  1e-15);
+  }
+}
+
+TEST(Throughput, MatchesKnapsackGroupingValue) {
+  const appmodel::Ensemble e{10, 150};
+  for (ProcCount r = 17; r <= 110; r += 13) {
+    const auto c = platform::make_builtin_cluster(1, r);
+    const GroupSchedule s = knapsack_grouping(c, e);
+    double value = 0;
+    for (const ProcCount g : s.group_sizes) value += 1.0 / c.main_time(g);
+    EXPECT_NEAR(best_throughput(c, e.scenarios), value, 1e-12) << "R=" << r;
+  }
+}
+
+TEST(ThroughputVector, MonotoneAndFinite) {
+  const auto c = platform::make_builtin_cluster(2, 40);
+  const PerformanceVector vec = throughput_performance_vector(c, 10, 60);
+  ASSERT_EQ(vec.size(), 10u);
+  for (std::size_t k = 0; k < vec.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(vec[k])) << k;
+    if (k > 0) {
+      EXPECT_GE(vec[k], vec[k - 1]);
+    }
+  }
+}
+
+TEST(ThroughputVector, TracksSimulatedVectorClosely) {
+  // The analytic estimate should sit within a few percent of the simulated
+  // performance vector (it ignores warm-up and partial-set effects).
+  const Count months = 60;
+  for (int profile = 0; profile < 5; profile += 2) {
+    const auto c = platform::make_builtin_cluster(profile, 40);
+    const PerformanceVector analytic =
+        throughput_performance_vector(c, 8, months);
+    const PerformanceVector simulated =
+        sim::performance_vector(c, 8, months, Heuristic::kKnapsack);
+    for (std::size_t k = 0; k < 8; ++k) {
+      const double ratio = analytic[k] / simulated[k];
+      EXPECT_GT(ratio, 0.90) << "profile " << profile << " k=" << k + 1;
+      EXPECT_LT(ratio, 1.10) << "profile " << profile << " k=" << k + 1;
+    }
+  }
+}
+
+TEST(ThroughputVector, GreedyOnAnalyticVectorsMatchesSimulatedChoice) {
+  // Using the cheap analytic vectors in Algorithm 1 should reproduce the
+  // simulated repartition (or at least its makespan) on the builtin grid.
+  const Count ns = 10, months = 60;
+  const auto grid = platform::make_builtin_grid(35);
+  std::vector<PerformanceVector> analytic, simulated;
+  for (const auto& c : grid.clusters()) {
+    analytic.push_back(throughput_performance_vector(c, ns, months));
+    simulated.push_back(
+        sim::performance_vector(c, ns, months, Heuristic::kKnapsack));
+  }
+  const Repartition ra = greedy_repartition(analytic, ns);
+  const Repartition rs = greedy_repartition(simulated, ns);
+  // Evaluate the analytic-derived distribution under the *simulated* truth.
+  const Seconds cost_of_analytic_choice =
+      repartition_makespan(simulated, ra.dags_per_cluster);
+  EXPECT_LT(cost_of_analytic_choice / rs.makespan, 1.05);
+}
+
+TEST(ThroughputVector, Validation) {
+  const auto c = platform::make_builtin_cluster(1, 40);
+  EXPECT_THROW((void)throughput_performance_vector(c, 0, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)throughput_performance_vector(c, 5, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oagrid::sched

@@ -1,0 +1,85 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace oagrid::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(5.0, [&] { order.push_back(2); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(9.0, [&] { order.push_back(3); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 9.0);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    engine.schedule_at(7.0, [&order, i] { order.push_back(i); });
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, CallbacksMayScheduleMoreEvents) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> reschedule = [&] {
+    ++count;
+    if (count < 5) engine.schedule_after(1.0, reschedule);
+  };
+  engine.schedule_at(0.0, reschedule);
+  EXPECT_EQ(engine.run(), 5u);
+  EXPECT_DOUBLE_EQ(engine.now(), 4.0);
+}
+
+TEST(Engine, ZeroDelayEventsRunAtCurrentTime) {
+  Engine engine;
+  bool ran = false;
+  engine.schedule_at(3.0, [&] {
+    engine.schedule_after(0.0, [&] { ran = true; });
+  });
+  engine.run();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, RejectsPastAndNegative) {
+  Engine engine;
+  engine.schedule_at(5.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_at(6.0, nullptr), std::invalid_argument);
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine engine;
+  int executed = 0;
+  for (int i = 0; i < 10; ++i)
+    engine.schedule_at(static_cast<double>(i), [&] {
+      ++executed;
+      if (executed == 3) engine.stop();
+    });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(engine.pending(), 7u);
+  // run() again resumes the calendar.
+  EXPECT_EQ(engine.run(), 7u);
+  EXPECT_EQ(executed, 10);
+}
+
+TEST(Engine, EmptyRunReturnsZero) {
+  Engine engine;
+  EXPECT_EQ(engine.run(), 0u);
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace oagrid::sim

@@ -1,0 +1,97 @@
+#include "sim/exporters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "appmodel/month.hpp"
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/ensemble_sim.hpp"
+
+namespace oagrid::sim {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  trace.record(TraceEntry{UnitKind::kGroup, 0, 0, 0, 0.0, 100.0});
+  trace.record(TraceEntry{UnitKind::kGroup, 1, 1, 0, 0.0, 120.0});
+  trace.record(TraceEntry{UnitKind::kPostWorker, 0, 0, 0, 100.0, 110.0});
+  return trace;
+}
+
+TEST(SvgGantt, EmitsWellFormedSvg) {
+  std::ostringstream out;
+  SvgOptions options;
+  options.title = "two groups & a post";
+  write_svg_gantt(out, sample_trace(), options);
+  const std::string svg = out.str();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("two groups &amp; a post"), std::string::npos);
+  // One rect per entry plus the background.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_EQ(rects, 4u);
+  // Row labels for both kinds.
+  EXPECT_NE(svg.find(">G0<"), std::string::npos);
+  EXPECT_NE(svg.find(">P0<"), std::string::npos);
+}
+
+TEST(SvgGantt, RejectsEmptyTraceAndTinyCanvas) {
+  std::ostringstream out;
+  EXPECT_THROW(write_svg_gantt(out, Trace{}), std::invalid_argument);
+  SvgOptions tiny;
+  tiny.width = 10;
+  EXPECT_THROW(write_svg_gantt(out, sample_trace(), tiny),
+               std::invalid_argument);
+}
+
+TEST(SvgGantt, RealSimulationTraceRenders) {
+  const auto cluster = platform::make_builtin_cluster(1, 30);
+  const appmodel::Ensemble ensemble{4, 6};
+  SimOptions options;
+  options.capture_trace = true;
+  const SimResult result = simulate_with_heuristic(
+      cluster, sched::Heuristic::kKnapsack, ensemble, options);
+  std::ostringstream out;
+  write_svg_gantt(out, result.trace);
+  EXPECT_GT(out.str().size(), 1000u);
+}
+
+TEST(Dot, EmitsMonthDag) {
+  const appmodel::MonthDag month = appmodel::make_month_dag();
+  std::ostringstream out;
+  write_dot(out, month.graph, "month");
+  const std::string dot = out.str();
+  EXPECT_EQ(dot.rfind("digraph \"month\"", 0), 0u);
+  EXPECT_NE(dot.find("pcr"), std::string::npos);
+  EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);  // moldable pcr
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // rigid tasks
+  // 6 nodes, 5 edges.
+  std::size_t arrows = 0, pos = 0;
+  while ((pos = dot.find("->", pos)) != std::string::npos) {
+    ++arrows;
+    ++pos;
+  }
+  EXPECT_EQ(arrows, 5u);
+}
+
+TEST(Dot, LabelsDataVolumes) {
+  const auto chain = appmodel::make_fused_scenario(3);
+  std::ostringstream out;
+  write_dot(out, chain.graph, "scenario");
+  EXPECT_NE(out.str().find("120 MB"), std::string::npos);
+}
+
+TEST(Dot, RequiresFrozenDag) {
+  dag::Dag unfrozen;
+  std::ostringstream out;
+  EXPECT_THROW(write_dot(out, unfrozen), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oagrid::sim

@@ -1,0 +1,97 @@
+#include "sim/grid_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/profiles.hpp"
+#include "sim/perf_vector.hpp"
+
+namespace oagrid::sim {
+namespace {
+
+using appmodel::Ensemble;
+
+TEST(PerfVector, MonotoneNonDecreasing) {
+  // More scenarios on the same cluster can never finish sooner.
+  for (int profile = 0; profile < 5; ++profile) {
+    const auto c = platform::make_builtin_cluster(profile, 40);
+    const auto vec =
+        performance_vector(c, 10, 12, sched::Heuristic::kKnapsack);
+    ASSERT_EQ(vec.size(), 10u);
+    for (std::size_t k = 1; k < vec.size(); ++k)
+      EXPECT_GE(vec[k], vec[k - 1] - 1e-6) << "profile " << profile << " k=" << k;
+  }
+}
+
+TEST(PerfVector, FasterClusterDominates) {
+  const auto fast = platform::make_builtin_cluster(0, 40);
+  const auto slow = platform::make_builtin_cluster(4, 40);
+  const auto vf = performance_vector(fast, 6, 12, sched::Heuristic::kBasic);
+  const auto vs = performance_vector(slow, 6, 12, sched::Heuristic::kBasic);
+  for (std::size_t k = 0; k < vf.size(); ++k) EXPECT_LT(vf[k], vs[k]);
+}
+
+TEST(GridSim, AllScenariosPlaced) {
+  const auto grid = platform::make_builtin_grid(30);
+  const GridSimResult r =
+      simulate_grid(grid, Ensemble{10, 12}, sched::Heuristic::kKnapsack);
+  EXPECT_EQ(r.repartition.total_dags(), 10);
+  EXPECT_EQ(r.performance.size(), 5u);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(GridSim, MakespanIsWorstClusterMakespan) {
+  const auto grid = platform::make_builtin_grid(25);
+  const GridSimResult r =
+      simulate_grid(grid, Ensemble{10, 12}, sched::Heuristic::kBasic);
+  Seconds worst = 0.0;
+  for (const Seconds ms : r.cluster_makespans) worst = std::max(worst, ms);
+  EXPECT_DOUBLE_EQ(r.makespan, worst);
+}
+
+TEST(GridSim, FasterClustersGetAtLeastAsManyDags) {
+  // Built-in profiles are ordered fastest -> slowest with equal resources.
+  const auto grid = platform::make_builtin_grid(35);
+  const GridSimResult r =
+      simulate_grid(grid, Ensemble{10, 12}, sched::Heuristic::kKnapsack);
+  for (std::size_t c = 0; c + 1 < r.repartition.dags_per_cluster.size(); ++c)
+    EXPECT_GE(r.repartition.dags_per_cluster[c],
+              r.repartition.dags_per_cluster[c + 1]);
+}
+
+TEST(GridSim, RepartitionLocallyOptimal) {
+  const auto grid = platform::make_builtin_grid(20);
+  const GridSimResult r =
+      simulate_grid(grid, Ensemble{8, 10}, sched::Heuristic::kKnapsack);
+  EXPECT_TRUE(sched::is_locally_optimal(r.performance, r.repartition));
+}
+
+TEST(GridSim, TwoClustersBeatOne) {
+  // Adding a second cluster can only help (the greedy can ignore it).
+  const auto grid = platform::make_builtin_grid(25);
+  const auto one = simulate_grid(grid.prefix(1), Ensemble{10, 12},
+                                 sched::Heuristic::kKnapsack);
+  const auto two = simulate_grid(grid.prefix(2), Ensemble{10, 12},
+                                 sched::Heuristic::kKnapsack);
+  EXPECT_LE(two.makespan, one.makespan + 1e-6);
+}
+
+TEST(GridSim, ParallelAndSerialVectorsMatch) {
+  const auto grid = platform::make_builtin_grid(30);
+  const auto serial =
+      simulate_grid(grid, Ensemble{6, 10}, sched::Heuristic::kKnapsack, 1);
+  const auto parallel =
+      simulate_grid(grid, Ensemble{6, 10}, sched::Heuristic::kKnapsack, 4);
+  EXPECT_EQ(serial.repartition.dags_per_cluster,
+            parallel.repartition.dags_per_cluster);
+  EXPECT_DOUBLE_EQ(serial.makespan, parallel.makespan);
+}
+
+TEST(GridSim, Validation) {
+  const platform::Grid empty;
+  EXPECT_THROW(
+      (void)simulate_grid(empty, Ensemble{2, 2}, sched::Heuristic::kBasic),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oagrid::sim

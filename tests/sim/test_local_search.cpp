@@ -1,0 +1,84 @@
+#include "sim/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/ensemble_sim.hpp"
+#include "sim/optimal_search.hpp"
+
+namespace oagrid::sim {
+namespace {
+
+using appmodel::Ensemble;
+
+TEST(LocalSearch, NeverWorseThanKnapsack) {
+  const Ensemble e{6, 10};
+  for (const ProcCount r : {15, 23, 31, 40, 53}) {
+    const auto c = platform::make_builtin_cluster(1, r);
+    const Seconds knap =
+        simulate_with_heuristic(c, sched::Heuristic::kKnapsack, e).makespan;
+    const LocalSearchResult result = local_search_grouping(c, e);
+    EXPECT_LE(result.makespan, knap + 1e-9) << "R=" << r;
+  }
+}
+
+TEST(LocalSearch, ResultIsValidAndReproducible) {
+  const auto c = platform::make_builtin_cluster(2, 34);
+  const Ensemble e{5, 8};
+  const LocalSearchResult a = local_search_grouping(c, e);
+  EXPECT_NO_THROW(a.best.validate(c));
+  EXPECT_DOUBLE_EQ(simulate_ensemble(c, a.best, e).makespan, a.makespan);
+  const LocalSearchResult b = local_search_grouping(c, e);
+  EXPECT_EQ(a.best.group_sizes, b.best.group_sizes);
+}
+
+TEST(LocalSearch, ReachesTheOracleOnSmallInstances) {
+  const Ensemble e{4, 8};
+  for (const ProcCount r : {13, 19, 26, 33}) {
+    const auto c = platform::make_builtin_cluster(1, r);
+    const auto oracle = optimal_grouping_search(c, e);
+    const LocalSearchResult search = local_search_grouping(c, e);
+    EXPECT_LE(search.makespan, oracle.makespan * 1.001 + 1e-9) << "R=" << r;
+    // And with far fewer simulations than the oracle needed.
+    EXPECT_LT(search.evaluations, oracle.evaluated) << "R=" << r;
+  }
+}
+
+TEST(LocalSearch, RespectsEvaluationBudget) {
+  const auto c = platform::make_builtin_cluster(1, 53);
+  LocalSearchOptions options;
+  options.max_evaluations = 5;
+  const LocalSearchResult result =
+      local_search_grouping(c, Ensemble{8, 10}, options);
+  EXPECT_LE(result.evaluations, 5u);
+}
+
+TEST(LocalSearch, ZeroMoveBudgetPicksBestStartingPoint) {
+  // With no moves allowed, the search reduces to evaluating the
+  // cardinality-capped knapsack starts; the winner is at least as good as
+  // the plain (uncapped) knapsack grouping, which is one of the starts.
+  const auto c = platform::make_builtin_cluster(1, 40);
+  const Ensemble e{6, 10};
+  LocalSearchOptions options;
+  options.max_accepted_moves = 0;
+  const LocalSearchResult result = local_search_grouping(c, e, options);
+  const Seconds knap =
+      simulate_with_heuristic(c, sched::Heuristic::kKnapsack, e).makespan;
+  EXPECT_LE(result.makespan, knap + 1e-9);
+  EXPECT_EQ(result.accepted_moves, 0);
+}
+
+TEST(LocalSearch, PoolAccountsForAllProcessors) {
+  const auto c = platform::make_builtin_cluster(3, 47);
+  const LocalSearchResult result = local_search_grouping(c, Ensemble{6, 8});
+  const ProcCount used = std::accumulate(result.best.group_sizes.begin(),
+                                         result.best.group_sizes.end(),
+                                         ProcCount{0});
+  EXPECT_EQ(used + result.best.post_pool, 47);
+}
+
+}  // namespace
+}  // namespace oagrid::sim

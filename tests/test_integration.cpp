@@ -1,0 +1,208 @@
+/// \file test_integration.cpp
+/// \brief Cross-module tests asserting the paper-level findings the benches
+/// reproduce: Figure 7's grouping structure, Figure 8's gain ordering, and
+/// the §6 grid behaviour.
+
+#include <gtest/gtest.h>
+
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/makespan_model.hpp"
+#include "sim/ensemble_sim.hpp"
+#include "sim/grid_sim.hpp"
+
+namespace oagrid {
+namespace {
+
+using appmodel::Ensemble;
+
+double gain_percent(Seconds basic, Seconds improved) {
+  return 100.0 * (basic - improved) / basic;
+}
+
+TEST(Figure7, OptimalGroupingOscillatesWithResources) {
+  // The best G is not monotone in R: the floor(R/G) packing makes it jump.
+  const Ensemble e{10, 150};
+  std::vector<ProcCount> best;
+  for (ProcCount r = 11; r <= 120; ++r) {
+    const auto c = platform::make_builtin_cluster(1, r);
+    best.push_back(sched::best_uniform_grouping(c, e).group_size);
+  }
+  int direction_changes = 0;
+  int last_direction = 0;
+  for (std::size_t i = 1; i < best.size(); ++i) {
+    const int delta = best[i] - best[i - 1];
+    if (delta == 0) continue;
+    const int direction = delta > 0 ? 1 : -1;
+    if (last_direction != 0 && direction != last_direction)
+      ++direction_changes;
+    last_direction = direction;
+  }
+  EXPECT_GE(direction_changes, 5) << "Figure 7's sawtooth is missing";
+  // And the extremes: tiny R forces small-to-mid G, huge R affords 11.
+  EXPECT_EQ(best.back(), 11);
+}
+
+TEST(Figure7, EveryAdmissibleGroupSizeAppearsSomewhere) {
+  // Across R in [11, 120] the optimum visits most of [4, 11] (the paper's
+  // plot spans the full band). Require at least 5 distinct values.
+  const Ensemble e{10, 150};
+  std::set<ProcCount> seen;
+  for (ProcCount r = 11; r <= 120; ++r)
+    seen.insert(sched::best_uniform_grouping(
+                    platform::make_builtin_cluster(1, r), e)
+                    .group_size);
+  EXPECT_GE(seen.size(), 5u);
+}
+
+TEST(Figure8, KnapsackBeatsBasicAtLowResources) {
+  // §4.3: "The representation as an instance of the Knapsack problem yields
+  // to the bests results with low resources."
+  const Ensemble e{10, 60};
+  double total_gain = 0.0;
+  int cells = 0;
+  for (ProcCount r = 20; r <= 50; r += 3) {
+    for (int profile = 0; profile < 5; ++profile) {
+      const auto c = platform::make_builtin_cluster(profile, r);
+      const Seconds basic =
+          sim::simulate_with_heuristic(c, sched::Heuristic::kBasic, e).makespan;
+      const Seconds knap =
+          sim::simulate_with_heuristic(c, sched::Heuristic::kKnapsack, e)
+              .makespan;
+      total_gain += gain_percent(basic, knap);
+      ++cells;
+    }
+  }
+  EXPECT_GT(total_gain / cells, 1.0) << "knapsack should clearly win at low R";
+}
+
+TEST(Figure8, GainsVanishWithAbundantResources) {
+  // "With a lot of resources, there are no more gains since there are NS
+  // groups of 11 resources."
+  const Ensemble e{10, 60};
+  for (int profile = 0; profile < 5; ++profile) {
+    const auto c = platform::make_builtin_cluster(profile, 120);
+    const Seconds basic =
+        sim::simulate_with_heuristic(c, sched::Heuristic::kBasic, e).makespan;
+    for (const auto h :
+         {sched::Heuristic::kRedistribute, sched::Heuristic::kKnapsack}) {
+      const Seconds improved = sim::simulate_with_heuristic(c, h, e).makespan;
+      EXPECT_NEAR(gain_percent(basic, improved), 0.0, 0.5)
+          << to_string(h) << " profile " << profile;
+    }
+    // Improvement 2 postpones every post to the end; with abundant resources
+    // that *costs* a little — exactly the slightly negative Gain-2 points the
+    // paper's Figure 8 shows at high R.
+    const Seconds all_at_end =
+        sim::simulate_with_heuristic(c, sched::Heuristic::kAllForMain, e)
+            .makespan;
+    const double gain2 = gain_percent(basic, all_at_end);
+    EXPECT_LE(gain2, 0.5) << "profile " << profile;
+    EXPECT_GT(gain2, -2.0) << "profile " << profile;
+  }
+}
+
+TEST(Figure8, GainsStayWithinPaperBand) {
+  // The paper reports gains roughly in [-2%, 14%]. Our substrate differs, so
+  // allow slack, but heuristics should never *lose* badly nor win absurdly.
+  const Ensemble e{10, 60};
+  for (ProcCount r = 20; r <= 120; r += 10) {
+    for (int profile = 0; profile < 5; profile += 2) {
+      const auto c = platform::make_builtin_cluster(profile, r);
+      const Seconds basic =
+          sim::simulate_with_heuristic(c, sched::Heuristic::kBasic, e).makespan;
+      for (const auto h : {sched::Heuristic::kRedistribute,
+                           sched::Heuristic::kAllForMain,
+                           sched::Heuristic::kKnapsack}) {
+        const double gain =
+            gain_percent(basic,
+                         sim::simulate_with_heuristic(c, h, e).makespan);
+        EXPECT_GT(gain, -8.0) << to_string(h) << " R=" << r;
+        EXPECT_LT(gain, 25.0) << to_string(h) << " R=" << r;
+      }
+    }
+  }
+}
+
+TEST(Figure8, PaperWorkedExampleRedistributeGains) {
+  // §4.2's example: R = 53, NS = 10 — redistribution (3x8 + 4x7, pool 1)
+  // "giving a gain of 4.5% (58 hours less on the makespan)". With the full
+  // 1800-month scenario that gain is makespan-proportional; we check the
+  // scaled 150-month run lands in a sensible band around it.
+  const auto c = platform::make_builtin_cluster(1, 53);
+  const Ensemble e{10, 150};
+  const Seconds basic =
+      sim::simulate_with_heuristic(c, sched::Heuristic::kBasic, e).makespan;
+  const Seconds redist =
+      sim::simulate_with_heuristic(c, sched::Heuristic::kRedistribute, e)
+          .makespan;
+  const double gain = gain_percent(basic, redist);
+  EXPECT_GT(gain, 1.0);
+  EXPECT_LT(gain, 10.0);
+}
+
+TEST(Grid, StablePhasesWhereSlowestClusterDominates) {
+  // §6: "there are stable phases where no heuristic improves the basic one
+  // ... when the makespan depends on the slowest cluster" — verify that at
+  // some grid sizes all heuristics coincide.
+  const Ensemble e{10, 24};
+  int zero_gain_points = 0;
+  for (ProcCount r = 11; r <= 40; r += 4) {
+    const auto grid = platform::make_builtin_grid(r).prefix(3);
+    const Seconds basic =
+        sim::simulate_grid(grid, e, sched::Heuristic::kBasic).makespan;
+    const Seconds knap =
+        sim::simulate_grid(grid, e, sched::Heuristic::kKnapsack).makespan;
+    if (std::abs(gain_percent(basic, knap)) < 0.25) ++zero_gain_points;
+  }
+  EXPECT_GE(zero_gain_points, 1);
+}
+
+TEST(Grid, AddingClustersShrinksGains) {
+  // §6: "if clusters are added, the gains obtained by the different
+  // heuristics are less and less important."
+  const Ensemble e{10, 24};
+  double gain2 = 0, gain5 = 0;
+  int n2 = 0, n5 = 0;
+  for (ProcCount r = 15; r <= 60; r += 5) {
+    const auto grid = platform::make_builtin_grid(r);
+    {
+      const Seconds basic =
+          sim::simulate_grid(grid.prefix(2), e, sched::Heuristic::kBasic)
+              .makespan;
+      const Seconds knap =
+          sim::simulate_grid(grid.prefix(2), e, sched::Heuristic::kKnapsack)
+              .makespan;
+      gain2 += gain_percent(basic, knap);
+      ++n2;
+    }
+    {
+      const Seconds basic =
+          sim::simulate_grid(grid, e, sched::Heuristic::kBasic).makespan;
+      const Seconds knap =
+          sim::simulate_grid(grid, e, sched::Heuristic::kKnapsack).makespan;
+      gain5 += gain_percent(basic, knap);
+      ++n5;
+    }
+  }
+  EXPECT_GE(gain2 / n2, gain5 / n5 - 0.5);
+}
+
+TEST(FullExperiment, PaperScaleRunCompletes) {
+  // The real experiment: 10 scenarios x 1800 months on one 53-processor
+  // cluster. 36k tasks through the DES — fast, and the makespan lands near
+  // the paper's scale (the 150-year experiment takes months of compute:
+  // 1500 sets of ~29 min each ~ 31 days with G=7 grouping at NM=1800).
+  const auto c = platform::make_builtin_cluster(1, 53);
+  const Ensemble e = Ensemble::paper_full();
+  const sim::SimResult r =
+      sim::simulate_with_heuristic(c, sched::Heuristic::kKnapsack, e);
+  EXPECT_EQ(r.mains_executed, 18000);
+  EXPECT_EQ(r.posts_executed, 18000);
+  // Order of magnitude: between 20 and 60 simulated days.
+  EXPECT_GT(r.makespan, 20.0 * 86400);
+  EXPECT_LT(r.makespan, 60.0 * 86400);
+}
+
+}  // namespace
+}  // namespace oagrid

@@ -1,0 +1,405 @@
+/// \file oagrid_cli.cpp
+/// \brief Command-line front end to the library.
+///
+///   oagrid_cli schedule  --resources 53 --scenarios 10 --months 150
+///   oagrid_cli simulate  --heuristic knapsack --gantt --jitter 0.05
+///   oagrid_cli grid      --clusters 5 --resources 30 [--hierarchy]
+///   oagrid_cli sweep     --from 20 --to 120 --step 4 --csv
+///   oagrid_cli calibrate --reps 2
+///
+/// `schedule` prints every heuristic's grouping and closed-form/simulated
+/// makespans for one cluster; `simulate` runs one campaign in the DES;
+/// `grid` runs the full §5 client/agent/SeD protocol; `sweep` regenerates a
+/// Figure-8-style gain table; `calibrate` benchmarks the real climate
+/// pipeline on this machine and emits a grid-file snippet.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "appmodel/month.hpp"
+#include "climate/calibration.hpp"
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "middleware/client.hpp"
+#include "middleware/local_agent.hpp"
+#include "middleware/master_agent.hpp"
+#include "platform/parser.hpp"
+#include "platform/profiles.hpp"
+#include "sched/lower_bounds.hpp"
+#include "sched/makespan_model.hpp"
+#include "sim/ensemble_sim.hpp"
+#include "sim/exporters.hpp"
+#include "sim/fluid_grid.hpp"
+#include "sim/grid_sim.hpp"
+#include "sim/local_search.hpp"
+#include "sim/trace_stats.hpp"
+
+namespace {
+
+using namespace oagrid;
+
+sched::Heuristic heuristic_from(const std::string& name) {
+  if (name == "basic") return sched::Heuristic::kBasic;
+  if (name == "redistribute") return sched::Heuristic::kRedistribute;
+  if (name == "all-for-main") return sched::Heuristic::kAllForMain;
+  if (name == "knapsack") return sched::Heuristic::kKnapsack;
+  throw std::invalid_argument(
+      "unknown heuristic '" + name +
+      "' (basic | redistribute | all-for-main | knapsack)");
+}
+
+platform::Cluster cluster_from(const ArgParser& args) {
+  const std::string file = args.get("grid-file");
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) throw std::invalid_argument("cannot open " + file);
+    const platform::Grid grid = platform::parse_grid(in);
+    const auto index = static_cast<ClusterId>(args.get_int("profile"));
+    return grid.cluster(index);
+  }
+  return platform::make_builtin_cluster(
+             static_cast<int>(args.get_int("profile")),
+             static_cast<ProcCount>(args.get_int("resources")));
+}
+
+void add_common_workload(ArgParser& args) {
+  args.add_option("resources", "processors on the cluster", "53")
+      .add_option("scenarios", "independent scenarios (NS)", "10")
+      .add_option("months", "months per scenario (NM)", "150")
+      .add_option("profile", "built-in cluster profile 0-4 or index in --grid-file", "1")
+      .add_option("grid-file", "platform description file (overrides --profile table)", "");
+}
+
+int cmd_schedule(const std::vector<std::string>& argv) {
+  ArgParser args("oagrid_cli schedule",
+                 "Compare the paper's four heuristics on one cluster");
+  add_common_workload(args);
+  args.parse(argv);
+
+  const platform::Cluster cluster = cluster_from(args);
+  const appmodel::Ensemble ensemble{args.get_int("scenarios"),
+                                    args.get_int("months")};
+
+  std::cout << "Cluster '" << cluster.name() << "', " << cluster.resources()
+            << " processors; NS=" << ensemble.scenarios
+            << " NM=" << ensemble.months << "\n\n";
+  const Seconds bound =
+      sched::ensemble_lower_bounds(cluster, ensemble).combined();
+  TableWriter table({"heuristic", "grouping", "makespan [s]", "human",
+                     "gap to LB"});
+  for (const auto h :
+       {sched::Heuristic::kBasic, sched::Heuristic::kRedistribute,
+        sched::Heuristic::kAllForMain, sched::Heuristic::kKnapsack}) {
+    const auto schedule = sched::make_schedule(h, cluster, ensemble);
+    const auto result = sim::simulate_ensemble(cluster, schedule, ensemble);
+    table.add_row({to_string(h), schedule.describe(), fmt(result.makespan, 0),
+                   fmt_duration(result.makespan),
+                   fmt(100.0 * (result.makespan - bound) / bound, 2) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nlower bound: " << fmt(bound, 0) << " s ("
+            << fmt_duration(bound) << ")\n";
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& argv) {
+  ArgParser args("oagrid_cli simulate",
+                 "Discrete-event simulation of one campaign");
+  add_common_workload(args);
+  args.add_option("heuristic", "basic | redistribute | all-for-main | knapsack",
+                  "knapsack")
+      .add_option("jitter", "duration noise (stddev of ln factor)", "0")
+      .add_option("failures", "per-task failure probability", "0")
+      .add_option("seed", "perturbation seed", "1")
+      .add_option("trace-csv", "write the execution trace to this file", "")
+      .add_option("svg", "write an SVG Gantt chart to this file", "")
+      .add_flag("gantt", "print an ASCII Gantt chart")
+      .add_flag("optimize", "refine the grouping with local search first");
+  args.parse(argv);
+
+  const platform::Cluster cluster = cluster_from(args);
+  const appmodel::Ensemble ensemble{args.get_int("scenarios"),
+                                    args.get_int("months")};
+  sched::GroupSchedule schedule = sched::make_schedule(
+      heuristic_from(args.get("heuristic")), cluster, ensemble);
+  if (args.flag("optimize")) {
+    const auto refined = sim::local_search_grouping(cluster, ensemble);
+    std::cout << "local search: " << refined.evaluations << " simulations, "
+              << refined.accepted_moves << " accepted moves\n";
+    schedule = refined.best;
+  }
+
+  sim::SimOptions options;
+  options.capture_trace = args.flag("gantt") ||
+                          !args.get("trace-csv").empty() ||
+                          !args.get("svg").empty();
+  options.perturbation.duration_jitter = args.get_double("jitter");
+  options.perturbation.failure_probability = args.get_double("failures");
+  options.perturbation.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const sim::SimResult result =
+      sim::simulate_ensemble(cluster, schedule, ensemble, options);
+  std::cout << "grouping:  " << schedule.describe() << "\n";
+  std::cout << "makespan:  " << fmt(result.makespan, 1) << " s ("
+            << fmt_duration(result.makespan) << ")\n";
+  std::cout << "tasks:     " << result.mains_executed << " mains, "
+            << result.posts_executed << " posts, " << result.retries
+            << " retries\n";
+  std::cout << "group utilization: " << fmt(100.0 * result.group_utilization, 1)
+            << "%\n";
+  if (options.capture_trace && result.retries == 0) {
+    const sim::TraceStats stats = sim::analyze_trace(result.trace);
+    std::cout << "post latency:      mean " << fmt(stats.mean_post_latency, 1)
+              << " s, max " << fmt(stats.max_post_latency, 1)
+              << " s (diagnostics waiting for a post slot)\n";
+  }
+  if (args.flag("gantt")) std::cout << "\n" << result.trace.render_gantt(100);
+  if (const std::string path = args.get("trace-csv"); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) throw std::invalid_argument("cannot write " + path);
+    result.trace.write_csv(out);
+    std::cout << "trace written to " << path << "\n";
+  }
+  if (const std::string path = args.get("svg"); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) throw std::invalid_argument("cannot write " + path);
+    sim::SvgOptions svg;
+    svg.title = "Ocean-Atmosphere campaign — " + schedule.describe();
+    sim::write_svg_gantt(out, result.trace, svg);
+    std::cout << "SVG Gantt written to " << path << "\n";
+  }
+  return 0;
+}
+
+int cmd_dynamic(const std::vector<std::string>& argv) {
+  ArgParser args("oagrid_cli dynamic",
+                 "Fluid grid with speed drift: static vs migrating placement");
+  args.add_option("clusters", "number of built-in clusters (2-5)", "5")
+      .add_option("resources", "processors per cluster", "25")
+      .add_option("scenarios", "independent scenarios (NS)", "10")
+      .add_option("months", "months per scenario (NM)", "120")
+      .add_option("sigma", "per-epoch log speed drift", "0.2")
+      .add_option("epoch", "re-evaluation period [s]", "14400")
+      .add_option("cost", "migration cost [s]", "300")
+      .add_option("seeds", "number of drift seeds", "10");
+  args.parse(argv);
+
+  const auto grid =
+      platform::make_builtin_grid(static_cast<ProcCount>(args.get_int("resources")))
+          .prefix(static_cast<int>(args.get_int("clusters")));
+  const appmodel::Ensemble ensemble{args.get_int("scenarios"),
+                                    args.get_int("months")};
+  TableWriter table({"policy", "mean makespan", "human", "mean migrations"});
+  for (const auto policy :
+       {sim::GridPolicy::kStatic, sim::GridPolicy::kRebalanceUnstarted,
+        sim::GridPolicy::kMigrateWithState}) {
+    double total = 0, moves = 0;
+    const auto seeds = args.get_int("seeds");
+    for (long long seed = 1; seed <= seeds; ++seed) {
+      sim::DriftModel drift;
+      drift.sigma = args.get_double("sigma");
+      drift.epoch_length = args.get_double("epoch");
+      drift.migration_cost_seconds = args.get_double("cost");
+      drift.seed = static_cast<std::uint64_t>(seed);
+      const auto result = simulate_dynamic_grid(grid, ensemble, policy, drift);
+      total += result.makespan;
+      moves += result.migrations;
+    }
+    table.add_row({to_string(policy), fmt(total / static_cast<double>(seeds), 0),
+                   fmt_duration(total / static_cast<double>(seeds)),
+                   fmt(moves / static_cast<double>(seeds), 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& argv) {
+  ArgParser args("oagrid_cli export",
+                 "Write workflow DAGs as Graphviz DOT");
+  args.add_positional("what", "month | fused | scenario")
+      .add_option("months", "chain length for 'scenario'", "3")
+      .add_option("out", "output file (default: stdout)", "");
+  args.parse(argv);
+
+  std::ostringstream dot;
+  const std::string what = args.get("what");
+  if (what == "month") {
+    sim::write_dot(dot, appmodel::make_month_dag().graph, "monthly_simulation");
+  } else if (what == "fused") {
+    sim::write_dot(dot, appmodel::make_fused_month().graph, "fused_month");
+  } else if (what == "scenario") {
+    sim::write_dot(dot,
+                   appmodel::make_fused_scenario(
+                       static_cast<int>(args.get_int("months")))
+                       .graph,
+                   "scenario_chain");
+  } else {
+    throw std::invalid_argument("unknown DAG '" + what +
+                                "' (month | fused | scenario)");
+  }
+  if (const std::string path = args.get("out"); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) throw std::invalid_argument("cannot write " + path);
+    out << dot.str();
+    std::cout << "DOT written to " << path << "\n";
+  } else {
+    std::cout << dot.str();
+  }
+  return 0;
+}
+
+int cmd_grid(const std::vector<std::string>& argv) {
+  ArgParser args("oagrid_cli grid",
+                 "Full §5 campaign over a heterogeneous grid (Figure 9 flow)");
+  args.add_option("clusters", "number of built-in clusters (2-5)", "5")
+      .add_option("resources", "processors per cluster", "30")
+      .add_option("scenarios", "independent scenarios (NS)", "10")
+      .add_option("months", "months per scenario (NM)", "150")
+      .add_option("heuristic", "grouping heuristic", "knapsack")
+      .add_option("grid-file", "platform description file", "")
+      .add_option("branching", "agent-tree branching factor (with --hierarchy)", "2")
+      .add_flag("hierarchy", "deploy a DIET-style Local Agent tree");
+  args.parse(argv);
+
+  platform::Grid grid = [&] {
+    const std::string file = args.get("grid-file");
+    if (!file.empty()) {
+      std::ifstream in(file);
+      if (!in) throw std::invalid_argument("cannot open " + file);
+      return platform::parse_grid(in);
+    }
+    return platform::make_builtin_grid(
+               static_cast<ProcCount>(args.get_int("resources")))
+        .prefix(static_cast<int>(args.get_int("clusters")));
+  }();
+  const appmodel::Ensemble ensemble{args.get_int("scenarios"),
+                                    args.get_int("months")};
+  const auto heuristic = heuristic_from(args.get("heuristic"));
+
+  std::unique_ptr<middleware::Deployment> deployment;
+  if (args.flag("hierarchy")) {
+    auto tree = std::make_unique<middleware::HierarchicalAgent>(
+        grid, static_cast<int>(args.get_int("branching")));
+    std::cout << "Hierarchical deployment: " << tree->agent_count()
+              << " local agents, depth " << tree->tree_depth() << "\n";
+    deployment = std::move(tree);
+  } else {
+    deployment = std::make_unique<middleware::MasterAgent>(grid);
+  }
+
+  middleware::Client client(*deployment);
+  const middleware::CampaignResult result = client.submit(ensemble, heuristic);
+
+  TableWriter table({"cluster", "procs", "scenarios", "makespan", "human"});
+  for (ClusterId c = 0; c < grid.cluster_count(); ++c) {
+    Seconds ms = 0;
+    for (const auto& exec : result.executions)
+      if (exec.cluster == c) ms = exec.makespan;
+    table.add_row(
+        {grid.cluster(c).name(), std::to_string(grid.cluster(c).resources()),
+         std::to_string(
+             result.repartition.dags_per_cluster[static_cast<std::size_t>(c)]),
+         fmt(ms, 0), fmt_duration(ms)});
+  }
+  table.print(std::cout);
+  std::cout << "\ncampaign makespan: " << fmt_duration(result.makespan) << "\n";
+  return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& argv) {
+  ArgParser args("oagrid_cli sweep",
+                 "Gain-vs-resources sweep (Figure 8 regeneration)");
+  args.add_option("from", "first resource count", "20")
+      .add_option("to", "last resource count", "120")
+      .add_option("step", "resource increment", "4")
+      .add_option("scenarios", "independent scenarios (NS)", "10")
+      .add_option("months", "months per scenario (NM)", "150")
+      .add_option("profile", "built-in cluster profile 0-4", "1")
+      .add_flag("csv", "emit CSV instead of an aligned table");
+  args.parse(argv);
+
+  const appmodel::Ensemble ensemble{args.get_int("scenarios"),
+                                    args.get_int("months")};
+  TableWriter table({"R", "basic [s]", "gain1 %", "gain2 %", "gain3 %"});
+  for (long long r = args.get_int("from"); r <= args.get_int("to");
+       r += args.get_int("step")) {
+    const auto cluster = platform::make_builtin_cluster(
+        static_cast<int>(args.get_int("profile")), static_cast<ProcCount>(r));
+    const Seconds basic =
+        sim::simulate_with_heuristic(cluster, sched::Heuristic::kBasic,
+                                     ensemble)
+            .makespan;
+    std::vector<std::string> row{std::to_string(r), fmt(basic, 0)};
+    for (const auto h :
+         {sched::Heuristic::kRedistribute, sched::Heuristic::kAllForMain,
+          sched::Heuristic::kKnapsack}) {
+      const Seconds ms =
+          sim::simulate_with_heuristic(cluster, h, ensemble).makespan;
+      row.push_back(fmt(100.0 * (basic - ms) / basic, 2));
+    }
+    table.add_row(row);
+  }
+  if (args.flag("csv"))
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  return 0;
+}
+
+int cmd_calibrate(const std::vector<std::string>& argv) {
+  ArgParser args("oagrid_cli calibrate",
+                 "Benchmark the real climate pipeline and emit a grid file");
+  args.add_option("reps", "months timed per configuration", "2")
+      .add_option("resources", "processor count for the emitted cluster", "32")
+      .add_option("name", "cluster name in the emitted file", "this-machine");
+  args.parse(argv);
+
+  std::cerr << "calibrating (96x192 grid, " << args.get_int("reps")
+            << " reps per G)...\n";
+  const climate::CalibrationResult result = climate::calibrate_pipeline(
+      climate::calibration_grade_params(),
+      static_cast<int>(args.get_int("reps")));
+  const platform::Cluster cluster = result.to_cluster(
+      args.get("name"), static_cast<ProcCount>(args.get_int("resources")));
+  platform::Grid grid;
+  grid.add_cluster(cluster);
+  platform::write_grid(std::cout, grid);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "usage: oagrid_cli "
+      "<schedule|simulate|grid|sweep|calibrate|dynamic|export> [options]\n"
+      "       oagrid_cli <command> --help\n";
+  if (argc < 2) {
+    std::cerr << usage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> rest;
+  bool help = false;
+  for (int i = 2; i < argc; ++i) {
+    rest.emplace_back(argv[i]);
+    if (rest.back() == "--help") help = true;
+  }
+
+  try {
+    if (command == "schedule") return cmd_schedule(rest);
+    if (command == "simulate") return cmd_simulate(rest);
+    if (command == "grid") return cmd_grid(rest);
+    if (command == "sweep") return cmd_sweep(rest);
+    if (command == "calibrate") return cmd_calibrate(rest);
+    if (command == "dynamic") return cmd_dynamic(rest);
+    if (command == "export") return cmd_export(rest);
+    std::cerr << "unknown command '" << command << "'\n" << usage;
+    return 2;
+  } catch (const std::exception& e) {
+    // --help routes the usage text through the exception channel.
+    std::cerr << (help ? "" : "error: ") << e.what() << "\n";
+    return help ? 0 : 1;
+  }
+}
