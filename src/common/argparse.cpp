@@ -10,7 +10,10 @@ ArgParser::ArgParser(std::string program, std::string description)
 
 ArgParser& ArgParser::add_flag(const std::string& name, std::string help) {
   OAGRID_REQUIRE(find(name) == nullptr, "duplicate option declaration");
-  options_.emplace_back(name, Spec{std::move(help), true, ""});
+  Spec spec;
+  spec.help = std::move(help);
+  spec.is_flag = true;
+  options_.emplace_back(name, std::move(spec));
   flags_[name] = false;
   return *this;
 }
@@ -19,8 +22,24 @@ ArgParser& ArgParser::add_option(const std::string& name, std::string help,
                                  std::string default_value) {
   OAGRID_REQUIRE(find(name) == nullptr, "duplicate option declaration");
   values_[name] = default_value;
-  options_.emplace_back(name, Spec{std::move(help), false,
-                                   std::move(default_value)});
+  Spec spec;
+  spec.help = std::move(help);
+  spec.default_value = std::move(default_value);
+  options_.emplace_back(name, std::move(spec));
+  return *this;
+}
+
+ArgParser& ArgParser::add_optional_value(const std::string& name,
+                                         std::string help,
+                                         std::string implicit_value) {
+  OAGRID_REQUIRE(find(name) == nullptr, "duplicate option declaration");
+  values_[name] = "";
+  flags_[name] = false;
+  Spec spec;
+  spec.help = std::move(help);
+  spec.optional_value = true;
+  spec.implicit_value = std::move(implicit_value);
+  options_.emplace_back(name, std::move(spec));
   return *this;
 }
 
@@ -62,6 +81,9 @@ void ArgParser::parse(const std::vector<std::string>& args) {
         if (inline_value)
           throw std::invalid_argument("flag --" + name + " takes no value");
         flags_[name] = true;
+      } else if (spec->optional_value) {
+        flags_[name] = true;
+        values_[name] = inline_value ? *inline_value : spec->implicit_value;
       } else if (inline_value) {
         values_[name] = *inline_value;
       } else {
@@ -131,7 +153,10 @@ std::string ArgParser::usage() const {
     out << "  <" << name << ">  " << help << "\n";
   for (const auto& [name, spec] : options_) {
     out << "  --" << name;
-    if (!spec.is_flag) out << " <value>";
+    if (spec.optional_value)
+      out << "[=<value>]";
+    else if (!spec.is_flag)
+      out << " <value>";
     out << "  " << spec.help;
     if (!spec.is_flag && !spec.default_value.empty())
       out << " (default: " << spec.default_value << ")";

@@ -24,6 +24,13 @@ class ArgParser {
   ArgParser& add_option(const std::string& name, std::string help,
                         std::string default_value);
 
+  /// Declares an option with an optional value (GNU style: bare `--name`
+  /// means `--name=<implicit_value>`; only the `=` form can attach a value,
+  /// so `--name something` leaves `something` a positional). flag(name)
+  /// reports presence; get(name) yields "" when absent.
+  ArgParser& add_optional_value(const std::string& name, std::string help,
+                                std::string implicit_value);
+
   /// Declares the next positional argument (required in order).
   ArgParser& add_positional(const std::string& name, std::string help);
 
@@ -44,6 +51,8 @@ class ArgParser {
     std::string help;
     bool is_flag = false;
     std::string default_value;
+    bool optional_value = false;  ///< bare --name allowed, = form for value
+    std::string implicit_value;   ///< value a bare --name stands for
   };
 
   std::string program_;

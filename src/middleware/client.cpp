@@ -6,41 +6,81 @@
 
 #include "common/log.hpp"
 #include "middleware/mailbox.hpp"
+#include "obs/obs.hpp"
 
 namespace oagrid::middleware {
+
+namespace {
+
+/// Attaches the client-side reply mailbox to the fleet-wide metrics (the
+/// "downstream" direction of the Figure 9 protocol). No-op when
+/// observability is off.
+void instrument_reply(Mailbox<SedResponse>& reply) {
+  if (!obs::enabled()) return;
+  QueueProbe probe;
+  probe.depth_on_send = &obs::metrics().histogram("middleware.reply.depth");
+  probe.wait_us = &obs::metrics().histogram("middleware.reply.wait_us");
+  probe.sends = &obs::metrics().counter("middleware.reply.sends");
+  reply.instrument(probe);
+}
+
+/// ScopedTimer target for one protocol step, or nullptr when off.
+obs::Histogram* step_histogram(const char* step) {
+  if (!obs::enabled()) return nullptr;
+  return &obs::metrics().histogram(std::string("middleware.") + step + "_us");
+}
+
+}  // namespace
 
 CampaignResult Client::submit(const appmodel::Ensemble& ensemble,
                               sched::Heuristic heuristic) {
   ensemble.validate();
   OAGRID_REQUIRE(agent_.daemon_count() >= 1, "no server daemon deployed");
   const int request_id = next_request_id_++;
+  if (obs::enabled()) obs::metrics().counter("middleware.campaigns").add();
+  obs::Span campaign_span(obs::enabled() ? &obs::trace_buffer() : nullptr,
+                          "campaign #" + std::to_string(request_id),
+                          "middleware");
   CampaignResult result;
 
   // Steps (1)-(3): broadcast the request, gather one performance vector per
   // cluster, whatever the arrival order.
   Mailbox<SedResponse> reply;
-  const int expected = agent_.broadcast_perf_request(
-      request_id, ensemble.scenarios, ensemble.months, heuristic, reply);
-  result.performance.resize(static_cast<std::size_t>(expected));
-  for (int received = 0; received < expected; ++received) {
-    std::optional<SedResponse> response = reply.receive();
-    if (!response)
-      throw std::runtime_error("oagrid: SeD channel closed during step 3");
-    const auto* perf = std::get_if<PerfResponse>(&*response);
-    if (perf == nullptr || perf->request_id != request_id)
-      throw std::runtime_error("oagrid: unexpected response during step 3");
-    result.performance[static_cast<std::size_t>(perf->cluster)] =
-        perf->performance;
+  instrument_reply(reply);
+  {
+    obs::ScopedTimer step_timer(step_histogram("step1_3"));
+    obs::Span step_span(obs::enabled() ? &obs::trace_buffer() : nullptr,
+                        "steps 1-3: perf vectors", "middleware");
+    const int expected = agent_.broadcast_perf_request(
+        request_id, ensemble.scenarios, ensemble.months, heuristic, reply);
+    result.performance.resize(static_cast<std::size_t>(expected));
+    for (int received = 0; received < expected; ++received) {
+      std::optional<SedResponse> response = reply.receive();
+      if (!response)
+        throw std::runtime_error("oagrid: SeD channel closed during step 3");
+      const auto* perf = std::get_if<PerfResponse>(&*response);
+      if (perf == nullptr || perf->request_id != request_id)
+        throw std::runtime_error("oagrid: unexpected response during step 3");
+      result.performance[static_cast<std::size_t>(perf->cluster)] =
+          perf->performance;
+    }
+    OAGRID_INFO << "client: step 3 complete, " << expected
+                << " performance vector(s) received";
   }
-  OAGRID_INFO << "client: step 3 complete, " << expected
-              << " performance vector(s) received";
 
   // Step (4): Algorithm 1 on the client.
-  result.repartition =
-      sched::greedy_repartition(result.performance, ensemble.scenarios);
+  {
+    obs::ScopedTimer step_timer(step_histogram("step4"));
+    result.repartition =
+        sched::greedy_repartition(result.performance, ensemble.scenarios);
+  }
 
-  // Step (5): dispatch each cluster's share (clusters with zero scenarios
-  // are not contacted, as in the paper's flow).
+  // Steps (5)-(6): dispatch each cluster's share (clusters with zero
+  // scenarios are not contacted, as in the paper's flow), then collect the
+  // execution reports.
+  obs::ScopedTimer step_timer(step_histogram("step5_6"));
+  obs::Span step_span(obs::enabled() ? &obs::trace_buffer() : nullptr,
+                      "steps 5-6: execution", "middleware");
   int outstanding = 0;
   for (ClusterId c = 0; c < agent_.daemon_count(); ++c) {
     const Count share =
@@ -51,7 +91,6 @@ CampaignResult Client::submit(const appmodel::Ensemble& ensemble,
     ++outstanding;
   }
 
-  // Step (6): collect execution reports.
   for (int received = 0; received < outstanding; ++received) {
     std::optional<SedResponse> response = reply.receive();
     if (!response)
@@ -82,6 +121,7 @@ Client::FaultTolerantResult Client::submit_with_deadline(
 
   // Steps (1)-(3) with a step deadline: collect whatever arrives in time.
   Mailbox<SedResponse> reply;
+  instrument_reply(reply);
   const int expected = agent_.broadcast_perf_request(
       request_id, ensemble.scenarios, ensemble.months, heuristic, reply);
   const auto deadline = std::chrono::steady_clock::now() + step_timeout;

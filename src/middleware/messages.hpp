@@ -33,6 +33,8 @@ struct ExecuteResponse {
   Seconds makespan = 0.0;
   Count mains_executed = 0;
   Count posts_executed = 0;
+  /// Busy fraction of the allocated processor-seconds (see SimResult).
+  double group_utilization = 0.0;
 };
 
 /// Streamed during step (6) when the request asks for it: how far the

@@ -1,19 +1,41 @@
 #include "middleware/server_daemon.hpp"
 
 #include "common/log.hpp"
+#include "obs/obs.hpp"
 #include "sim/ensemble_sim.hpp"
 #include "sim/perf_vector.hpp"
 
 namespace oagrid::middleware {
 
+namespace {
+
+/// Track band reserved per cluster on the simulated timeline: groups and
+/// post workers of cluster c land on tracks [c*kSimTrackStride, ...).
+constexpr int kSimTrackStride = 256;
+
+}  // namespace
+
 ServerDaemon::ServerDaemon(ClusterId id, platform::Cluster cluster)
-    : id_(id), cluster_(std::move(cluster)), thread_([this] { serve(); }) {}
+    : id_(id), cluster_(std::move(cluster)) {
+  if (obs::enabled()) {
+    // Fleet-wide distributions: every SeD inbox feeds the same histograms,
+    // so "mailbox wait time" quantiles describe the whole deployment.
+    QueueProbe probe;
+    probe.depth_on_send = &obs::metrics().histogram("middleware.mailbox.depth");
+    probe.wait_us = &obs::metrics().histogram("middleware.mailbox.wait_us");
+    probe.sends = &obs::metrics().counter("middleware.mailbox.sends");
+    probe.dropped_sends =
+        &obs::metrics().counter("middleware.mailbox.dropped_sends");
+    inbox_.instrument(probe);
+  }
+  // The thread starts only after the inbox is fully set up.
+  thread_ = std::thread([this] { serve(); });
+}
 
 ServerDaemon::~ServerDaemon() { stop(); }
 
 void ServerDaemon::stop() {
-  if (stopped_) return;
-  stopped_ = true;
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
   inbox_.send(SedRequest{ShutdownRequest{}});
   inbox_.close();
   if (thread_.joinable()) thread_.join();
@@ -22,16 +44,36 @@ void ServerDaemon::stop() {
 void ServerDaemon::serve() {
   OAGRID_INFO << "SeD " << id_ << " (" << cluster_.name() << ", "
               << cluster_.resources() << " procs) up";
+  const bool observed = obs::enabled();
+  const double up_since_us =
+      observed ? obs::WallClock::instance().now_us() : 0.0;
+  double busy_us = 0.0;
+  std::uint64_t requests = 0;
   for (;;) {
     std::optional<SedRequest> request = inbox_.receive();
     if (!request) break;
     if (std::holds_alternative<ShutdownRequest>(*request)) break;
+    const double handle_start_us =
+        observed ? obs::WallClock::instance().now_us() : 0.0;
     std::visit(
         [this](const auto& r) {
           using R = std::decay_t<decltype(r)>;
           if constexpr (!std::is_same_v<R, ShutdownRequest>) handle(r);
         },
         *request);
+    if (observed) {
+      busy_us += obs::WallClock::instance().now_us() - handle_start_us;
+      ++requests;
+    }
+  }
+  if (observed) {
+    const double uptime_us =
+        obs::WallClock::instance().now_us() - up_since_us;
+    const std::string prefix = "middleware.sed." + std::to_string(id_);
+    obs::metrics().counter(prefix + ".requests").add(requests);
+    obs::metrics()
+        .gauge(prefix + ".busy_ratio")
+        .set(uptime_us > 0.0 ? busy_us / uptime_us : 0.0);
   }
   OAGRID_INFO << "SeD " << id_ << " down";
 }
@@ -39,6 +81,9 @@ void ServerDaemon::serve() {
 void ServerDaemon::handle(const PerfRequest& request) {
   OAGRID_DEBUG << "SeD " << id_ << " perf request #" << request.request_id
                << " NS=" << request.scenarios << " NM=" << request.months;
+  obs::ScopedTimer timer(
+      obs::enabled() ? &obs::metrics().histogram("middleware.sed.perf_us")
+                     : nullptr);
   PerfResponse response;
   response.request_id = request.request_id;
   response.cluster = id_;
@@ -50,6 +95,9 @@ void ServerDaemon::handle(const PerfRequest& request) {
 void ServerDaemon::handle(const ExecuteRequest& request) {
   OAGRID_DEBUG << "SeD " << id_ << " executes " << request.scenarios
                << " scenario(s)";
+  obs::ScopedTimer timer(
+      obs::enabled() ? &obs::metrics().histogram("middleware.sed.execute_us")
+                     : nullptr);
   ExecuteResponse response;
   response.request_id = request.request_id;
   response.cluster = id_;
@@ -57,6 +105,11 @@ void ServerDaemon::handle(const ExecuteRequest& request) {
   if (request.scenarios > 0) {
     const appmodel::Ensemble ensemble{request.scenarios, request.months};
     sim::SimOptions options;
+    if (obs::enabled()) {
+      options.obs_trace = &obs::trace_buffer();
+      options.obs_track_base = id_ * kSimTrackStride;
+      options.obs_label = cluster_.name();
+    }
     if (request.progress_every > 0 && request.reply != nullptr) {
       options.progress_every = request.progress_every;
       options.on_progress = [this, &request,
@@ -76,6 +129,11 @@ void ServerDaemon::handle(const ExecuteRequest& request) {
     response.makespan = result.makespan;
     response.mains_executed = result.mains_executed;
     response.posts_executed = result.posts_executed;
+    response.group_utilization = result.group_utilization;
+    if (obs::enabled())
+      obs::metrics()
+          .gauge("sim.cluster." + cluster_.name() + ".utilization")
+          .set(result.group_utilization);
   }
   if (request.reply) request.reply->send(SedResponse{std::move(response)});
 }

@@ -9,6 +9,7 @@
 /// responses go to the reply mailbox carried by each request, so multiple
 /// concurrent clients are possible.
 
+#include <atomic>
 #include <thread>
 
 #include "middleware/mailbox.hpp"
@@ -35,7 +36,8 @@ class ServerDaemon {
   }
   [[nodiscard]] Mailbox<SedRequest>& inbox() noexcept { return inbox_; }
 
-  /// Graceful stop: shutdown message + join. Idempotent.
+  /// Graceful stop: shutdown message + join. Idempotent and safe against
+  /// concurrent stop() calls (an atomic claims the join exactly once).
   void stop();
 
  private:
@@ -47,7 +49,7 @@ class ServerDaemon {
   platform::Cluster cluster_;
   Mailbox<SedRequest> inbox_;
   std::thread thread_;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace oagrid::middleware

@@ -1,0 +1,30 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace oagrid::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_origin() noexcept {
+  static const auto origin = std::chrono::steady_clock::now();
+  return origin;
+}
+
+// Touch the origin during static initialization so concurrent first calls
+// from worker threads all see the same epoch.
+[[maybe_unused]] const auto kOriginAnchor = process_origin();
+
+}  // namespace
+
+double WallClock::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - process_origin();
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+const WallClock& WallClock::instance() noexcept {
+  static const WallClock clock;
+  return clock;
+}
+
+}  // namespace oagrid::obs

@@ -1,0 +1,43 @@
+#pragma once
+/// \file clock.hpp
+/// \brief Time sources for the observability layer.
+///
+/// Everything in obs is timestamped in microseconds through a Clock so the
+/// same Span/exporter machinery serves two worlds: real wall-clock time
+/// (middleware threads, benches) and simulated time (the DES hands explicit
+/// timestamps to TraceBuffer::emit_complete, or a ManualClock in tests).
+/// WallClock measures from process start so trace files begin near t = 0.
+
+#include <cstdint>
+
+namespace oagrid::obs {
+
+/// Monotonic microsecond time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual double now_us() const = 0;
+};
+
+/// steady_clock microseconds since the first use in this process.
+class WallClock final : public Clock {
+ public:
+  [[nodiscard]] double now_us() const override;
+
+  /// Shared instance (the default clock of Span and ScopedTimer).
+  [[nodiscard]] static const WallClock& instance() noexcept;
+};
+
+/// Hand-advanced clock for deterministic tests and golden files.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(double start_us = 0.0) noexcept : now_us_(start_us) {}
+  [[nodiscard]] double now_us() const override { return now_us_; }
+  void set(double us) noexcept { now_us_ = us; }
+  void advance(double us) noexcept { now_us_ += us; }
+
+ private:
+  double now_us_;
+};
+
+}  // namespace oagrid::obs

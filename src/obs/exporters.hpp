@@ -1,0 +1,37 @@
+#pragma once
+/// \file exporters.hpp
+/// \brief Serialization of metrics and traces to standard formats.
+///
+/// Three sinks, one source of truth (MetricsRegistry / TraceBuffer):
+///  * Chrome trace-event JSON — loadable in chrome://tracing and Perfetto
+///    (the JSON object format: {"traceEvents": [...]} with "X" complete
+///    events and "M" thread/process-name metadata);
+///  * Prometheus-style text exposition — counters, gauges, and histograms
+///    rendered as summaries (quantile-labelled samples + _sum/_count);
+///  * fixed-width summary table via common/table — the human-facing view
+///    the CLI prints after a run.
+
+#include <iosfwd>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace oagrid::obs {
+
+/// Writes the whole buffer as Chrome trace-event JSON. Tracks named via
+/// TraceBuffer::set_track_name become thread_name metadata; the two
+/// timelines (wall / simulated) become process_name metadata.
+void write_chrome_trace(std::ostream& os, const TraceBuffer& buffer);
+
+/// Prometheus text exposition (metric names sanitized to [a-zA-Z0-9_:],
+/// prefixed "oagrid_"). Histograms are emitted as summaries with p50/p95/p99.
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry);
+
+/// Human-readable fixed-width table: one row per metric with count, sum or
+/// value, and p50/p95/p99/max for histograms.
+void write_metrics_table(std::ostream& os, const MetricsRegistry& registry);
+
+/// Escapes a string for inclusion in a JSON string literal (no quotes).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace oagrid::obs

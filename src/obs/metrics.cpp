@@ -1,0 +1,182 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oagrid::obs {
+
+std::size_t thread_shard(std::size_t shards) noexcept {
+  // Threads draw consecutive slots; modulo spreads them evenly over the
+  // shard array whatever the shard count of the calling metric.
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot % shards;
+}
+
+int Histogram::bucket_index(double value) noexcept {
+  const double floor_value = std::exp2(static_cast<double>(kMinExponent));
+  if (!(value >= floor_value)) return 0;  // zero, negatives, NaN
+  const double log2v = std::log2(value);
+  if (log2v >= static_cast<double>(kMaxExponent)) return kBucketCount - 1;
+  const int index =
+      1 + static_cast<int>(std::floor((log2v - kMinExponent) * kSubBuckets));
+  return std::clamp(index, 1, kBucketCount - 2);
+}
+
+double Histogram::bucket_lower_bound(int index) noexcept {
+  if (index <= 0) return 0.0;
+  if (index >= kBucketCount - 1)
+    return std::exp2(static_cast<double>(kMaxExponent));
+  return std::exp2(static_cast<double>(index - 1) / kSubBuckets +
+                   kMinExponent);
+}
+
+void Histogram::record(double value) noexcept {
+  Shard& shard = shards_[thread_shard(kShards)];
+  shard.counts[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
+
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + value,
+                                          std::memory_order_relaxed)) {
+  }
+  double lo = shard.min.load(std::memory_order_relaxed);
+  while (value < lo && !shard.min.compare_exchange_weak(
+                           lo, value, std::memory_order_relaxed)) {
+  }
+  double hi = shard.max.load(std::memory_order_relaxed);
+  while (value > hi && !shard.max.compare_exchange_weak(
+                           hi, value, std::memory_order_relaxed)) {
+  }
+  shard.total.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(static_cast<std::size_t>(kBucketCount), 0);
+  bool seeded = false;
+  for (const Shard& shard : shards_) {
+    const std::uint64_t total = shard.total.load(std::memory_order_acquire);
+    if (total == 0) continue;
+    snap.count += total;
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    const double lo = shard.min.load(std::memory_order_relaxed);
+    const double hi = shard.max.load(std::memory_order_relaxed);
+    if (!seeded) {
+      snap.min = lo;
+      snap.max = hi;
+      seeded = true;
+    } else {
+      snap.min = std::min(snap.min, lo);
+      snap.max = std::max(snap.max, hi);
+    }
+    for (std::size_t b = 0; b < snap.buckets.size(); ++b)
+      snap.buckets[b] += shard.counts[b].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& shard : shards_) {
+    shard.total.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    for (auto& count : shard.counts)
+      count.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  // The extremes are tracked exactly; only interior quantiles need the
+  // bucket-resolution estimate.
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1));  // zero-based order statistic
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative > rank) {
+      const int index = static_cast<int>(b);
+      // Geometric bucket midpoint; the underflow bucket has no usable lower
+      // bound, so report the observed minimum instead.
+      double estimate;
+      if (index == 0) {
+        estimate = min;
+      } else {
+        const double lo = Histogram::bucket_lower_bound(index);
+        const double hi = Histogram::bucket_lower_bound(index + 1);
+        estimate = std::sqrt(lo * hi);
+      }
+      return std::clamp(estimate, min, max);
+    }
+  }
+  return max;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, metric] : counters_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = MetricSnapshot::Kind::kCounter;
+    snap.value = static_cast<double>(metric->value());
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [name, metric] : gauges_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = MetricSnapshot::Kind::kGauge;
+    snap.value = metric->value();
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [name, metric] : histograms_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = MetricSnapshot::Kind::kHistogram;
+    snap.histogram = metric->snapshot();
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, metric] : counters_) metric->reset();
+  for (auto& [name, metric] : gauges_) metric->reset();
+  for (auto& [name, metric] : histograms_) metric->reset();
+}
+
+}  // namespace oagrid::obs

@@ -1,0 +1,169 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Thread-safe metric primitives cheap enough for hot paths.
+///
+/// Three metric kinds, all lock-free on the record path:
+///  * Counter — monotonically increasing event count. Writes go to one of
+///    kShards cache-line-padded relaxed atomics selected by a per-thread
+///    slot, so concurrent increments never contend on one line; reads
+///    aggregate on demand.
+///  * Gauge — a last-write-wins double (queue depth, utilization ratio).
+///  * Histogram — log-bucketed distribution (4 sub-buckets per octave,
+///    covering 2^-16 .. 2^48, i.e. sub-microsecond to years when recording
+///    microseconds). Sharded like Counter; quantiles (p50/p95/p99) are
+///    bucket-resolution estimates (relative error <= 2^(1/4) - 1 ~ 19%),
+///    min/max/sum/count are exact.
+///
+/// MetricsRegistry owns metrics by name. Registration takes a mutex; call
+/// sites cache the returned reference, so steady-state recording is
+/// registration-free. References stay valid for the registry's lifetime.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace oagrid::obs {
+
+/// Stable per-thread shard index in [0, shards).
+[[nodiscard]] std::size_t thread_shard(std::size_t shards) noexcept;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[thread_shard(kShards)].value.fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_)
+      total += cell.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Cell cells_[kShards];
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Aggregated view of one histogram at a point in time.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;
+
+  /// Bucket-resolution quantile estimate, q in [0, 1]. Clamped to
+  /// [min, max] so estimates never leave the observed range.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Aggregated bucket counts (index layout: Histogram::bucket_index).
+  std::vector<std::uint64_t> buckets;
+};
+
+class Histogram {
+ public:
+  /// Number of buckets: one underflow bucket (values < 2^-16, including
+  /// zero and negatives), kOctaves * kSubBuckets log buckets, one overflow.
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kMinExponent = -16;
+  static constexpr int kMaxExponent = 48;
+  static constexpr int kBucketCount =
+      (kMaxExponent - kMinExponent) * kSubBuckets + 2;
+
+  /// Maps a value to its bucket. Total over doubles: negatives, NaN and
+  /// zero land in the underflow bucket; huge values in the overflow bucket.
+  [[nodiscard]] static int bucket_index(double value) noexcept;
+
+  /// Inclusive lower bound of a bucket (0 for underflow).
+  [[nodiscard]] static double bucket_lower_bound(int index) noexcept;
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  void reset() noexcept;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> counts[static_cast<std::size_t>(kBucketCount)];
+    std::atomic<double> sum{0.0};
+    // +/-infinity sentinels make record() a pure CAS-min/max with no
+    // seeding race between threads sharing a shard.
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::atomic<std::uint64_t> total{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// One row of MetricsRegistry::snapshot().
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;  ///< counter total or gauge value
+  HistogramSnapshot histogram;  ///< populated for kHistogram
+};
+
+/// Named metric store. Thread-safe; metric references remain valid and
+/// writable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// All metrics sorted by name (deterministic exporter output).
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Zeroes every metric (references stay valid). For benches and tests.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace oagrid::obs

@@ -1,0 +1,34 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+
+namespace oagrid::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry& metrics() {
+  // Leaked on purpose: instrumented worker threads may outlive main()'s
+  // locals, and cached metric references must never dangle.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+TraceBuffer& trace_buffer() {
+  static TraceBuffer* const buffer = new TraceBuffer();
+  return *buffer;
+}
+
+void reset() {
+  metrics().reset();
+  trace_buffer().clear();
+}
+
+}  // namespace oagrid::obs

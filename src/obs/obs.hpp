@@ -1,0 +1,43 @@
+#pragma once
+/// \file obs.hpp
+/// \brief Umbrella header and process-global observability state.
+///
+/// The instrumented subsystems (middleware, sim, sched) record into one
+/// process-wide MetricsRegistry and TraceBuffer, gated by a single enabled
+/// flag:
+///
+///   if (obs::enabled()) obs::metrics().counter("sim.events").add(n);
+///
+/// `enabled()` is one relaxed atomic load, so instrumentation left compiled
+/// into hot paths costs nothing measurable while observability is off
+/// (bench_sim_engine gates this at <= 5% even when it is ON). The flag is
+/// process-global on purpose: the CLI flips it once before running a
+/// command, and worker threads (SeDs, thread pools) inherit it without any
+/// plumbing through call signatures.
+///
+/// Library code records; only the application layer (CLI, benches, tests)
+/// flips the flag and exports.
+
+#include "obs/clock.hpp"      // IWYU pragma: export
+#include "obs/exporters.hpp"  // IWYU pragma: export
+#include "obs/metrics.hpp"    // IWYU pragma: export
+#include "obs/trace.hpp"      // IWYU pragma: export
+
+namespace oagrid::obs {
+
+/// Whether instrumentation records anything (default: off).
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Process-global metric store (constructed on first use, never destroyed
+/// before exit — references cached by instrumented code stay valid).
+[[nodiscard]] MetricsRegistry& metrics();
+
+/// Process-global trace buffer (wall + simulated timelines).
+[[nodiscard]] TraceBuffer& trace_buffer();
+
+/// Convenience reset for tests and benches: clears the global registry and
+/// buffer (the enabled flag is left untouched).
+void reset();
+
+}  // namespace oagrid::obs

@@ -1,0 +1,83 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace oagrid::obs {
+
+namespace {
+// Per-thread open-span depth for the wall timeline. Thread-local, so Span
+// needs no synchronization to know its nesting level.
+thread_local int open_span_depth = 0;
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  events_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void TraceBuffer::emit_complete(TraceEvent event) {
+  const std::scoped_lock lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceBuffer::set_track_name(int pid, int track, std::string name) {
+  const std::scoped_lock lock(mutex_);
+  track_names_[{pid, track}] = std::move(name);
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  const std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::map<std::pair<int, int>, std::string> TraceBuffer::track_names() const {
+  const std::scoped_lock lock(mutex_);
+  return track_names_;
+}
+
+std::size_t TraceBuffer::size() const {
+  const std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+std::size_t TraceBuffer::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+void TraceBuffer::clear() {
+  const std::scoped_lock lock(mutex_);
+  events_.clear();
+  track_names_.clear();
+  dropped_ = 0;
+}
+
+Span::Span(TraceBuffer* buffer, std::string name, std::string category,
+           const Clock& clock)
+    : buffer_(buffer),
+      clock_(clock),
+      name_(std::move(name)),
+      category_(std::move(category)) {
+  if (buffer_ == nullptr) return;
+  start_us_ = clock_.now_us();
+  depth_ = open_span_depth++;
+}
+
+Span::~Span() {
+  if (buffer_ == nullptr) return;
+  --open_span_depth;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.pid = kWallPid;
+  event.track = static_cast<int>(thread_shard(1u << 30));
+  event.ts_us = start_us_;
+  event.dur_us = clock_.now_us() - start_us_;
+  event.depth = depth_;
+  buffer_->emit_complete(std::move(event));
+}
+
+}  // namespace oagrid::obs

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "knapsack/knapsack.hpp"
+#include "obs/obs.hpp"
 
 namespace oagrid::sched {
 namespace {
@@ -109,6 +111,19 @@ GroupSchedule knapsack_grouping(const platform::Cluster& cluster,
         knapsack::Item{g, 1.0 / cluster.main_time(g)});
   problem.capacity = cluster.resources();
   problem.max_items = ensemble.scenarios;
+  if (obs::enabled()) {
+    // DP state space (k <= capacity/min_weight cardinality rows, capacity+1
+    // weight columns, one relaxation per item kind) — the work solve_dp does.
+    const long long k_rows =
+        std::min<long long>(problem.max_items,
+                            problem.capacity / cluster.min_group()) +
+        1;
+    obs::metrics()
+        .counter("sched.knapsack.dp_cells")
+        .add(static_cast<std::uint64_t>(
+            k_rows * (static_cast<long long>(problem.capacity) + 1) *
+            static_cast<long long>(problem.items.size())));
+  }
   const knapsack::Solution solution = knapsack::solve_dp(problem);
 
   GroupSchedule schedule;
@@ -125,9 +140,33 @@ GroupSchedule knapsack_grouping(const platform::Cluster& cluster,
   return schedule;
 }
 
+namespace {
+
+/// Metric-name slug per heuristic ("knapsack (imp.3)" is no metric name).
+const char* metric_slug(Heuristic heuristic) noexcept {
+  switch (heuristic) {
+    case Heuristic::kBasic: return "basic";
+    case Heuristic::kRedistribute: return "redistribute";
+    case Heuristic::kAllForMain: return "all_for_main";
+    case Heuristic::kKnapsack: return "knapsack";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 GroupSchedule make_schedule(Heuristic heuristic,
                             const platform::Cluster& cluster,
                             const appmodel::Ensemble& ensemble) {
+  const bool observed = obs::enabled();
+  obs::ScopedTimer timer(
+      observed ? &obs::metrics().histogram(std::string("sched.") +
+                                           metric_slug(heuristic) + "_us")
+               : nullptr);
+  if (observed)
+    obs::metrics()
+        .counter(std::string("sched.") + metric_slug(heuristic) + ".schedules")
+        .add();
   switch (heuristic) {
     case Heuristic::kBasic: return basic_grouping(cluster, ensemble);
     case Heuristic::kRedistribute: return redistribute_grouping(cluster, ensemble);

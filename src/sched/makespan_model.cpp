@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace oagrid::sched {
 namespace {
 
@@ -111,15 +113,19 @@ UniformChoice best_uniform_grouping(const platform::Cluster& cluster,
   OAGRID_REQUIRE(cluster.resources() >= cluster.min_group(),
                  "cluster too small for any group");
   UniformChoice best;
+  std::uint64_t evaluations = 0;
   for (ProcCount g = cluster.min_group(); g <= cluster.max_group(); ++g) {
     if (cluster.resources() < g) break;
     MakespanEstimate e = evaluate_uniform_grouping(cluster, ensemble, g);
+    ++evaluations;
     if (e.regime == MakespanRegime::kInfeasible) continue;
     if (best.group_size == 0 || e.makespan < best.estimate.makespan) {
       best.group_size = g;
       best.estimate = e;
     }
   }
+  if (obs::enabled())
+    obs::metrics().counter("sched.uniform_evals").add(evaluations);
   OAGRID_REQUIRE(best.group_size != 0, "no feasible uniform grouping");
   return best;
 }

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 
 namespace oagrid::sim {
@@ -55,9 +56,21 @@ class EnsembleSimulation {
     for (ProcCount w = 0; w < schedule_.post_pool; ++w)
       free_workers_.push_back(next_worker_id_++);
     posts_enabled_ = schedule_.post_policy == sched::PostPolicy::kPoolThenRetired;
+    if (options_.obs_trace != nullptr) {
+      const std::string prefix =
+          options_.obs_label.empty() ? "" : options_.obs_label + " ";
+      for (std::size_t g = 0; g < groups_.size(); ++g)
+        options_.obs_trace->set_track_name(
+            obs::kSimPid, options_.obs_track_base + static_cast<int>(g),
+            prefix + "group " + std::to_string(g) + " (" +
+                std::to_string(groups_[g].size) + "p)");
+    }
   }
 
   SimResult run() {
+    const bool observed = obs::enabled();
+    const double wall_start_us =
+        observed ? obs::WallClock::instance().now_us() : 0.0;
     dispatch_mains();
     result_.events = engine_.run();
     result_.makespan = std::max(result_.main_phase_end, last_post_end_);
@@ -69,6 +82,43 @@ class EnsembleSimulation {
     }
     result_.group_utilization =
         result_.makespan > 0.0 ? busy / (alloc * result_.makespan) : 0.0;
+    // Metrics are aggregated once per run, not per event, so the simulator's
+    // hot loop carries no instrumentation cost (gated by bench_sim_engine).
+    if (observed) {
+      const double wall_us =
+          obs::WallClock::instance().now_us() - wall_start_us;
+      // Registry lookups take a mutex and a string-keyed map walk; cached
+      // references keep the per-run cost at a handful of relaxed atomics
+      // (the registry guarantees reference stability, so this is safe).
+      static obs::Counter& runs = obs::metrics().counter("sim.runs");
+      static obs::Counter& events = obs::metrics().counter("sim.events");
+      static obs::Counter& mains = obs::metrics().counter("sim.mains");
+      static obs::Counter& posts = obs::metrics().counter("sim.posts");
+      static obs::Counter& retries = obs::metrics().counter("sim.retries");
+      static obs::Histogram& run_wall_us =
+          obs::metrics().histogram("sim.run_wall_us");
+      static obs::Histogram& events_per_sec =
+          obs::metrics().histogram("sim.events_per_sec");
+      static obs::Histogram& group_busy =
+          obs::metrics().histogram("sim.group.busy_ratio");
+      static obs::Histogram& group_idle =
+          obs::metrics().histogram("sim.group.idle_seconds");
+      runs.add();
+      events.add(result_.events);
+      mains.add(static_cast<std::uint64_t>(result_.mains_executed));
+      posts.add(static_cast<std::uint64_t>(result_.posts_executed));
+      retries.add(static_cast<std::uint64_t>(result_.retries));
+      run_wall_us.record(wall_us);
+      if (wall_us > 0.0)
+        events_per_sec.record(static_cast<double>(result_.events) /
+                              (wall_us * 1e-6));
+      for (const Group& g : groups_) {
+        const double group_busy_ratio =
+            result_.makespan > 0.0 ? g.busy_seconds / result_.makespan : 0.0;
+        group_busy.record(group_busy_ratio);
+        group_idle.record(std::max(0.0, result_.makespan - g.busy_seconds));
+      }
+    }
     return std::move(result_);
   }
 
@@ -171,6 +221,10 @@ class EnsembleSimulation {
     if (options_.capture_trace && !fails)
       result_.trace.record(
           TraceEntry{UnitKind::kGroup, g, s, month, start, end});
+    if (options_.obs_trace != nullptr)
+      emit_sim_event("s" + std::to_string(s) + " m" + std::to_string(month),
+                     fails ? "retry" : "main", options_.obs_track_base + g,
+                     start, end);
     engine_.schedule_at(
         end, [this, g, s, month, fails] { finish_main(g, s, month, fails); });
   }
@@ -241,6 +295,10 @@ class EnsembleSimulation {
       if (options_.capture_trace)
         result_.trace.record(TraceEntry{UnitKind::kPostWorker, worker,
                                         post.scenario, post.month, start, end});
+      if (options_.obs_trace != nullptr)
+        emit_sim_event("post s" + std::to_string(post.scenario) + " m" +
+                           std::to_string(post.month),
+                       "post", post_track(worker), start, end);
       engine_.schedule_at(end, [this, worker] { finish_post(worker); });
     }
   }
@@ -250,6 +308,36 @@ class EnsembleSimulation {
     last_post_end_ = std::max(last_post_end_, engine_.now());
     free_workers_.push_back(worker);
     dispatch_posts();
+  }
+
+  /// Simulated-time trace event: 1 trace microsecond per simulated second.
+  void emit_sim_event(std::string name, const char* category, int track,
+                      Seconds start, Seconds end) {
+    obs::TraceEvent event;
+    event.name = std::move(name);
+    event.category = category;
+    event.pid = obs::kSimPid;
+    event.track = track;
+    event.ts_us = start;
+    event.dur_us = end - start;
+    options_.obs_trace->emit_complete(std::move(event));
+  }
+
+  /// Post workers live on tracks above the group band; each track is named
+  /// on first use.
+  int post_track(int worker) {
+    const int track = options_.obs_track_base +
+                      static_cast<int>(groups_.size()) + worker;
+    if (static_cast<std::size_t>(worker) >= post_track_named_.size())
+      post_track_named_.resize(static_cast<std::size_t>(worker) + 1, false);
+    if (!post_track_named_[static_cast<std::size_t>(worker)]) {
+      post_track_named_[static_cast<std::size_t>(worker)] = true;
+      const std::string prefix =
+          options_.obs_label.empty() ? "" : options_.obs_label + " ";
+      options_.obs_trace->set_track_name(
+          obs::kSimPid, track, prefix + "post worker " + std::to_string(worker));
+    }
+    return track;
   }
 
   const platform::Cluster& cluster_;
@@ -273,6 +361,7 @@ class EnsembleSimulation {
   int next_worker_id_ = 0;
   bool posts_enabled_ = false;
   Seconds last_post_end_ = 0.0;
+  std::vector<bool> post_track_named_;
 
   SimResult result_;
 };

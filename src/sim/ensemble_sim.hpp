@@ -16,8 +16,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "appmodel/ensemble.hpp"
+#include "obs/trace.hpp"
 #include "platform/cluster.hpp"
 #include "sched/group_schedule.hpp"
 #include "sched/heuristics.hpp"
@@ -63,6 +65,14 @@ struct SimOptions {
   /// server daemons forward it as ProgressUpdate messages).
   Count progress_every = 0;
   std::function<void(Count, Seconds)> on_progress;
+
+  /// Observability sink for simulated-time task events (obs::kSimPid, one
+  /// trace microsecond per simulated second). Null -> no events. Aggregate
+  /// counters/histograms additionally flow into obs::metrics() after the
+  /// run whenever obs::enabled() — that path costs nothing per event.
+  obs::TraceBuffer* obs_trace = nullptr;
+  int obs_track_base = 0;     ///< first track id (grid runs band clusters)
+  std::string obs_label;      ///< track-name prefix, e.g. the cluster name
 };
 
 struct SimResult {

@@ -1,6 +1,7 @@
 #include "sim/grid_sim.hpp"
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 #include "sim/perf_vector.hpp"
 
 namespace oagrid::sim {
@@ -11,16 +12,27 @@ GridSimResult simulate_grid(const platform::Grid& grid,
   ensemble.validate();
   OAGRID_REQUIRE(grid.cluster_count() >= 1, "grid needs at least one cluster");
 
+  const bool observed = obs::enabled();
+  obs::Histogram* const perf_us =
+      observed ? &obs::metrics().histogram("sim.perf_vector_us") : nullptr;
+
   GridSimResult result;
   result.performance.resize(static_cast<std::size_t>(grid.cluster_count()));
   parallel_for(
       0, static_cast<std::size_t>(grid.cluster_count()),
       [&](std::size_t c) {
+        obs::ScopedTimer timer(perf_us);
+        obs::Span span(observed ? &obs::trace_buffer() : nullptr,
+                       "perf vector: " +
+                           grid.cluster(static_cast<ClusterId>(c)).name(),
+                       "sim");
         result.performance[c] =
             performance_vector(grid.cluster(static_cast<ClusterId>(c)),
                                ensemble.scenarios, ensemble.months, heuristic);
       },
       threads);
+  if (observed)
+    obs::metrics().counter("sim.grid_campaigns").add();
 
   result.repartition =
       sched::greedy_repartition(result.performance, ensemble.scenarios);

@@ -110,6 +110,48 @@ TEST(ArgParse, UndeclaredQueriesThrow) {
   EXPECT_THROW((void)args.flag("nope"), std::invalid_argument);
 }
 
+TEST(ArgParse, OptionalValueAbsent) {
+  ArgParser args("prog", "optional values");
+  args.add_optional_value("metrics", "metrics sink", "");
+  args.parse({});
+  EXPECT_FALSE(args.flag("metrics"));
+  EXPECT_EQ(args.get("metrics"), "");
+}
+
+TEST(ArgParse, OptionalValueBareUsesImplicit) {
+  ArgParser args("prog", "optional values");
+  args.add_optional_value("metrics", "metrics sink", "stdout");
+  args.parse({"--metrics"});
+  EXPECT_TRUE(args.flag("metrics"));
+  EXPECT_EQ(args.get("metrics"), "stdout");
+}
+
+TEST(ArgParse, OptionalValueEqualsFormAttaches) {
+  ArgParser args("prog", "optional values");
+  args.add_optional_value("metrics", "metrics sink", "stdout");
+  args.parse({"--metrics=out.prom"});
+  EXPECT_TRUE(args.flag("metrics"));
+  EXPECT_EQ(args.get("metrics"), "out.prom");
+}
+
+TEST(ArgParse, OptionalValueDoesNotSwallowTheNextArgument) {
+  // GNU getopt semantics: only the `=` form attaches a value, so the next
+  // token stays a positional.
+  ArgParser args("prog", "optional values");
+  args.add_optional_value("metrics", "metrics sink", "")
+      .add_positional("input", "input file");
+  args.parse({"--metrics", "file.txt"});
+  EXPECT_TRUE(args.flag("metrics"));
+  EXPECT_EQ(args.get("metrics"), "");
+  EXPECT_EQ(args.get("input"), "file.txt");
+}
+
+TEST(ArgParse, OptionalValueUsageRendering) {
+  ArgParser args("prog", "optional values");
+  args.add_optional_value("metrics", "metrics sink", "");
+  EXPECT_NE(args.usage().find("--metrics[=<value>]"), std::string::npos);
+}
+
 TEST(ArgParse, ArgcArgvForm) {
   ArgParser args = make_parser();
   const char* argv[] = {"prog", "--count", "9", "--verbose"};

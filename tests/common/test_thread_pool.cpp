@@ -97,5 +97,24 @@ TEST(ThreadPool, DestructionWithIdleWorkersIsClean) {
   }
 }
 
+// Shutdown stress: destroy the pool immediately after the last region
+// returns, while workers may still be between "observed the generation"
+// and "back on the condvar". Run under TSan in CI; a lost-wakeup or a
+// notify on a destroyed condvar shows up here as a hang or a race report.
+TEST(ThreadPool, ImmediateDestructionAfterBusyRegionsStress) {
+  for (int i = 0; i < 100; ++i) {
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 64, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    pool.parallel_for(0, 1, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 65);
+    // Destructor races the workers' return-to-wait transition.
+  }
+}
+
 }  // namespace
 }  // namespace oagrid

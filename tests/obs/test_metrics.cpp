@@ -1,0 +1,214 @@
+/// \file test_metrics.cpp
+/// \brief Counter / Gauge / Histogram / MetricsRegistry unit tests: bucket
+/// boundary arithmetic, quantile estimation error bounds, and exactness of
+/// the sharded counters under real thread contention.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace oagrid::obs {
+namespace {
+
+TEST(HistogramBuckets, UnderflowCatchesZeroNegativesAndNan) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-1e300), 0);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0);
+  // Below the 2^-16 floor but positive: still underflow.
+  EXPECT_EQ(Histogram::bucket_index(std::exp2(Histogram::kMinExponent) / 2.0),
+            0);
+}
+
+TEST(HistogramBuckets, FirstLogBucketStartsAtTheFloor) {
+  const double floor_value = std::exp2(Histogram::kMinExponent);
+  EXPECT_EQ(Histogram::bucket_index(floor_value), 1);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(1), floor_value);
+}
+
+TEST(HistogramBuckets, OverflowCatchesHugeValuesAndInfinity) {
+  EXPECT_EQ(Histogram::bucket_index(std::exp2(Histogram::kMaxExponent)),
+            Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            Histogram::kBucketCount - 1);
+  // Just below the ceiling lands in the last regular bucket.
+  EXPECT_EQ(Histogram::bucket_index(std::exp2(Histogram::kMaxExponent) * 0.99),
+            Histogram::kBucketCount - 2);
+}
+
+TEST(HistogramBuckets, IndexIsMonotonicAndConsistentWithLowerBounds) {
+  int previous = 0;
+  for (double v = std::exp2(Histogram::kMinExponent); v < 1e14; v *= 1.17) {
+    const int index = Histogram::bucket_index(v);
+    EXPECT_GE(index, previous);  // non-decreasing in the value
+    previous = index;
+    // The value must lie in [lower_bound(index), lower_bound(index + 1)).
+    EXPECT_GE(v, Histogram::bucket_lower_bound(index) * (1 - 1e-12));
+    EXPECT_LT(v, Histogram::bucket_lower_bound(index + 1) * (1 + 1e-12));
+  }
+}
+
+TEST(HistogramBuckets, EveryPowerOfTwoOpensANewOctave) {
+  // 4 sub-buckets per octave: consecutive powers of two differ by exactly 4.
+  for (int e = Histogram::kMinExponent; e < Histogram::kMaxExponent - 1; ++e) {
+    const int a = Histogram::bucket_index(std::exp2(e));
+    const int b = Histogram::bucket_index(std::exp2(e + 1));
+    EXPECT_EQ(b - a, Histogram::kSubBuckets) << "octave " << e;
+  }
+}
+
+TEST(Histogram, ExactStatsAndEstimatedQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_DOUBLE_EQ(snap.sum, 500500.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+
+  // Quantile estimates are bucket-midpoint approximations: relative error
+  // is bounded by half an octave step, 2^(1/8) - 1 < 9.1%, on either side
+  // of the bucket geometric mean; allow the full bucket width to be safe.
+  const double tol = std::exp2(1.0 / Histogram::kSubBuckets);  // ~1.19x
+  for (const auto& [q, exact] :
+       {std::pair{0.5, 500.0}, {0.95, 950.0}, {0.99, 990.0}}) {
+    const double estimate = snap.quantile(q);
+    EXPECT_GE(estimate, exact / tol) << "q=" << q;
+    EXPECT_LE(estimate, exact * tol) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.0);   // clamped to min
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 1000.0);  // clamped to max
+}
+
+TEST(Histogram, SingleValueQuantilesCollapseToIt) {
+  Histogram h;
+  h.record(42.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), snap.quantile(0.99));
+  EXPECT_GE(snap.quantile(0.5), snap.min);
+  EXPECT_LE(snap.quantile(0.5), snap.max);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  const HistogramSnapshot snap = Histogram().snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, ResetRestoresTheEmptyState) {
+  Histogram h;
+  h.record(3.0);
+  h.record(7.0);
+  h.reset();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  h.record(5.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().min, 5.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().max, 5.0);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add();
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Histogram, ConcurrentRecordsKeepExactCountSumMinMax) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<double>(t * kPerThread + i + 1));
+    });
+  for (auto& thread : threads) thread.join();
+  const HistogramSnapshot snap = h.snapshot();
+  constexpr double n = kThreads * kPerThread;
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(n));
+  EXPECT_DOUBLE_EQ(snap.sum, n * (n + 1) / 2);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, n);
+}
+
+TEST(Gauge, SetAddAndReset) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsRegistry, ReturnsStableReferencesPerName) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.counter("x").value(), 3u);
+  EXPECT_NE(&registry.counter("x"), &registry.counter("y"));
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByNameAcrossKinds) {
+  MetricsRegistry registry;
+  registry.histogram("c.lat").record(1.0);
+  registry.counter("a.events").add(2);
+  registry.gauge("b.depth").set(4.0);
+  const auto snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "a.events");
+  EXPECT_EQ(snaps[0].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(snaps[0].value, 2.0);
+  EXPECT_EQ(snaps[1].name, "b.depth");
+  EXPECT_EQ(snaps[1].kind, MetricSnapshot::Kind::kGauge);
+  EXPECT_EQ(snaps[2].name, "c.lat");
+  EXPECT_EQ(snaps[2].kind, MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(snaps[2].histogram.count, 1u);
+}
+
+TEST(MetricsRegistry, ResetZeroesEverythingButKeepsReferencesValid) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("n");
+  c.add(9);
+  registry.gauge("g").set(1.0);
+  registry.histogram("h").record(8.0);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 0.0);
+  EXPECT_EQ(registry.histogram("h").snapshot().count, 0u);
+  c.add(1);  // the old reference still records
+  EXPECT_EQ(registry.counter("n").value(), 1u);
+}
+
+TEST(ThreadShard, StaysWithinBoundsAndIsStablePerThread) {
+  const std::size_t first = thread_shard(8);
+  EXPECT_LT(first, 8u);
+  EXPECT_EQ(thread_shard(8), first);  // same thread, same slot
+}
+
+}  // namespace
+}  // namespace oagrid::obs

@@ -24,6 +24,7 @@
 #include "middleware/client.hpp"
 #include "middleware/local_agent.hpp"
 #include "middleware/master_agent.hpp"
+#include "obs/obs.hpp"
 #include "platform/parser.hpp"
 #include "platform/profiles.hpp"
 #include "sched/lower_bounds.hpp"
@@ -38,6 +39,67 @@
 namespace {
 
 using namespace oagrid;
+
+/// Declares the global observability flag pair shared by the schedule /
+/// simulate / grid / sweep subcommands.
+void add_obs_options(ArgParser& args) {
+  args.add_optional_value(
+          "metrics",
+          "print a metrics summary table; with =FILE also write "
+          "Prometheus-style text exposition to FILE",
+          "")
+      .add_option("trace-out",
+                  "write a Chrome trace-event JSON file "
+                  "(chrome://tracing / Perfetto)",
+                  "");
+}
+
+/// Lifetime of one observed CLI command: flips obs::enabled() on after
+/// parsing and exports/prints everything the run recorded.
+class ObsSession {
+ public:
+  explicit ObsSession(const ArgParser& args)
+      : metrics_(args.flag("metrics")),
+        metrics_file_(args.get("metrics")),
+        trace_file_(args.get("trace-out")) {
+    if (metrics_ || !trace_file_.empty()) {
+      obs::set_enabled(true);
+      obs::reset();
+    }
+  }
+
+  /// Call after all instrumented work (and worker teardown) finished.
+  void finish() const {
+    if (!obs::enabled()) return;
+    if (metrics_) {
+      std::cout << "\n== metrics ==\n";
+      obs::write_metrics_table(std::cout, obs::metrics());
+      if (!metrics_file_.empty()) {
+        std::ofstream out(metrics_file_);
+        if (!out)
+          throw std::invalid_argument("cannot write " + metrics_file_);
+        obs::write_prometheus(out, obs::metrics());
+        std::cout << "metrics exposition written to " << metrics_file_
+                  << "\n";
+      }
+    }
+    if (!trace_file_.empty()) {
+      std::ofstream out(trace_file_);
+      if (!out) throw std::invalid_argument("cannot write " + trace_file_);
+      obs::write_chrome_trace(out, obs::trace_buffer());
+      std::cout << "Chrome trace (" << obs::trace_buffer().size()
+                << " events) written to " << trace_file_ << "\n";
+      if (obs::trace_buffer().dropped() > 0)
+        std::cout << "warning: " << obs::trace_buffer().dropped()
+                  << " events dropped (buffer capacity)\n";
+    }
+  }
+
+ private:
+  bool metrics_;
+  std::string metrics_file_;
+  std::string trace_file_;
+};
 
 sched::Heuristic heuristic_from(const std::string& name) {
   if (name == "basic") return sched::Heuristic::kBasic;
@@ -71,11 +133,42 @@ void add_common_workload(ArgParser& args) {
       .add_option("grid-file", "platform description file (overrides --profile table)", "");
 }
 
+/// Submits one campaign through a deployed agent hierarchy and prints the
+/// per-cluster outcome (shared by `grid` and `simulate --clusters N`).
+void run_grid_campaign(middleware::Deployment& deployment,
+                       const platform::Grid& grid,
+                       const appmodel::Ensemble& ensemble,
+                       sched::Heuristic heuristic) {
+  middleware::Client client(deployment);
+  const middleware::CampaignResult result = client.submit(ensemble, heuristic);
+
+  TableWriter table(
+      {"cluster", "procs", "scenarios", "makespan", "human", "util %"});
+  for (ClusterId c = 0; c < grid.cluster_count(); ++c) {
+    Seconds ms = 0;
+    double util = 0;
+    for (const auto& exec : result.executions)
+      if (exec.cluster == c) {
+        ms = exec.makespan;
+        util = exec.group_utilization;
+      }
+    table.add_row(
+        {grid.cluster(c).name(), std::to_string(grid.cluster(c).resources()),
+         std::to_string(
+             result.repartition.dags_per_cluster[static_cast<std::size_t>(c)]),
+         fmt(ms, 0), fmt_duration(ms), fmt(100.0 * util, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\ncampaign makespan: " << fmt_duration(result.makespan) << "\n";
+}
+
 int cmd_schedule(const std::vector<std::string>& argv) {
   ArgParser args("oagrid_cli schedule",
                  "Compare the paper's four heuristics on one cluster");
   add_common_workload(args);
+  add_obs_options(args);
   args.parse(argv);
+  const ObsSession obs_session(args);
 
   const platform::Cluster cluster = cluster_from(args);
   const appmodel::Ensemble ensemble{args.get_int("scenarios"),
@@ -100,6 +193,7 @@ int cmd_schedule(const std::vector<std::string>& argv) {
   table.print(std::cout);
   std::cout << "\nlower bound: " << fmt(bound, 0) << " s ("
             << fmt_duration(bound) << ")\n";
+  obs_session.finish();
   return 0;
 }
 
@@ -114,13 +208,35 @@ int cmd_simulate(const std::vector<std::string>& argv) {
       .add_option("seed", "perturbation seed", "1")
       .add_option("trace-csv", "write the execution trace to this file", "")
       .add_option("svg", "write an SVG Gantt chart to this file", "")
+      .add_option("clusters",
+                  "with N>1, run the campaign over N built-in clusters "
+                  "through the middleware (client/agent/SeD)",
+                  "1")
       .add_flag("gantt", "print an ASCII Gantt chart")
       .add_flag("optimize", "refine the grouping with local search first");
+  add_obs_options(args);
   args.parse(argv);
+  const ObsSession obs_session(args);
 
-  const platform::Cluster cluster = cluster_from(args);
   const appmodel::Ensemble ensemble{args.get_int("scenarios"),
                                     args.get_int("months")};
+  if (const long long clusters = args.get_int("clusters"); clusters > 1) {
+    const platform::Grid grid =
+        platform::make_builtin_grid(
+            static_cast<ProcCount>(args.get_int("resources")))
+            .prefix(static_cast<int>(clusters));
+    {
+      // Scoped so the SeD threads have joined (flushing per-SeD utilization
+      // gauges and trace events) before the exporters run.
+      middleware::MasterAgent agent(grid);
+      run_grid_campaign(agent, grid, ensemble,
+                        heuristic_from(args.get("heuristic")));
+    }
+    obs_session.finish();
+    return 0;
+  }
+
+  const platform::Cluster cluster = cluster_from(args);
   sched::GroupSchedule schedule = sched::make_schedule(
       heuristic_from(args.get("heuristic")), cluster, ensemble);
   if (args.flag("optimize")) {
@@ -137,6 +253,10 @@ int cmd_simulate(const std::vector<std::string>& argv) {
   options.perturbation.duration_jitter = args.get_double("jitter");
   options.perturbation.failure_probability = args.get_double("failures");
   options.perturbation.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  if (obs::enabled()) {
+    options.obs_trace = &obs::trace_buffer();
+    options.obs_label = cluster.name();
+  }
 
   const sim::SimResult result =
       sim::simulate_ensemble(cluster, schedule, ensemble, options);
@@ -169,6 +289,7 @@ int cmd_simulate(const std::vector<std::string>& argv) {
     sim::write_svg_gantt(out, result.trace, svg);
     std::cout << "SVG Gantt written to " << path << "\n";
   }
+  obs_session.finish();
   return 0;
 }
 
@@ -260,7 +381,9 @@ int cmd_grid(const std::vector<std::string>& argv) {
       .add_option("grid-file", "platform description file", "")
       .add_option("branching", "agent-tree branching factor (with --hierarchy)", "2")
       .add_flag("hierarchy", "deploy a DIET-style Local Agent tree");
+  add_obs_options(args);
   args.parse(argv);
+  const ObsSession obs_session(args);
 
   platform::Grid grid = [&] {
     const std::string file = args.get("grid-file");
@@ -288,22 +411,9 @@ int cmd_grid(const std::vector<std::string>& argv) {
     deployment = std::make_unique<middleware::MasterAgent>(grid);
   }
 
-  middleware::Client client(*deployment);
-  const middleware::CampaignResult result = client.submit(ensemble, heuristic);
-
-  TableWriter table({"cluster", "procs", "scenarios", "makespan", "human"});
-  for (ClusterId c = 0; c < grid.cluster_count(); ++c) {
-    Seconds ms = 0;
-    for (const auto& exec : result.executions)
-      if (exec.cluster == c) ms = exec.makespan;
-    table.add_row(
-        {grid.cluster(c).name(), std::to_string(grid.cluster(c).resources()),
-         std::to_string(
-             result.repartition.dags_per_cluster[static_cast<std::size_t>(c)]),
-         fmt(ms, 0), fmt_duration(ms)});
-  }
-  table.print(std::cout);
-  std::cout << "\ncampaign makespan: " << fmt_duration(result.makespan) << "\n";
+  run_grid_campaign(*deployment, grid, ensemble, heuristic);
+  deployment.reset();  // join SeD threads before the exporters run
+  obs_session.finish();
   return 0;
 }
 
@@ -317,7 +427,9 @@ int cmd_sweep(const std::vector<std::string>& argv) {
       .add_option("months", "months per scenario (NM)", "150")
       .add_option("profile", "built-in cluster profile 0-4", "1")
       .add_flag("csv", "emit CSV instead of an aligned table");
+  add_obs_options(args);
   args.parse(argv);
+  const ObsSession obs_session(args);
 
   const appmodel::Ensemble ensemble{args.get_int("scenarios"),
                                     args.get_int("months")};
@@ -344,6 +456,7 @@ int cmd_sweep(const std::vector<std::string>& argv) {
     table.print_csv(std::cout);
   else
     table.print(std::cout);
+  obs_session.finish();
   return 0;
 }
 
