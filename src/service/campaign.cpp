@@ -1,0 +1,25 @@
+#include "service/campaign.hpp"
+
+namespace oagrid::service {
+
+const char* to_string(CampaignStatus status) noexcept {
+  switch (status) {
+    case CampaignStatus::kScheduled: return "scheduled";
+    case CampaignStatus::kQueued: return "queued";
+    case CampaignStatus::kRejected: return "rejected";
+    case CampaignStatus::kRunning: return "running";
+    case CampaignStatus::kCompleted: return "completed";
+  }
+  return "?";
+}
+
+Count CampaignState::unfinished_on(ClusterId cluster) const noexcept {
+  Count count = 0;
+  for (std::size_t s = 0; s < assignment.size(); ++s)
+    if (assignment[s] == cluster &&
+        frontier[s] < static_cast<MonthIndex>(spec.months))
+      ++count;
+  return count;
+}
+
+}  // namespace oagrid::service

@@ -1,0 +1,62 @@
+#include "service/estimator.hpp"
+
+#include <stdexcept>
+#include <variant>
+
+#include "middleware/master_agent.hpp"
+#include "sched/throughput.hpp"
+#include "sim/perf_vector.hpp"
+
+namespace oagrid::service {
+
+sched::PerformanceVector AnalyticEstimator::vector(
+    const platform::Cluster& cluster, Count scenarios, Count months,
+    sched::Heuristic heuristic) {
+  (void)heuristic;  // the analytic vector is the knapsack-optimal throughput
+  return sched::throughput_performance_vector(cluster, scenarios, months);
+}
+
+sched::PerformanceVector SimEstimator::vector(
+    const platform::Cluster& cluster, Count scenarios, Count months,
+    sched::Heuristic heuristic) {
+  return sim::performance_vector(cluster, scenarios, months, heuristic);
+}
+
+MiddlewareEstimator::MiddlewareEstimator()
+    : agent_(std::make_unique<middleware::MasterAgent>()) {}
+
+MiddlewareEstimator::~MiddlewareEstimator() { agent_->shutdown(); }
+
+int MiddlewareEstimator::deployed_daemons() const noexcept {
+  return agent_->daemon_count();
+}
+
+sched::PerformanceVector MiddlewareEstimator::vector(
+    const platform::Cluster& cluster, Count scenarios, Count months,
+    sched::Heuristic heuristic) {
+  const std::pair<std::string, ProcCount> key{cluster.name(),
+                                              cluster.resources()};
+  const auto it = deployed_.find(key);
+  const ClusterId sed =
+      it != deployed_.end() ? it->second : agent_->deploy(cluster);
+  if (it == deployed_.end()) deployed_.emplace(key, sed);
+
+  middleware::Mailbox<middleware::SedResponse> reply;
+  middleware::PerfRequest request;
+  request.request_id = next_request_id_++;
+  request.scenarios = scenarios;
+  request.months = months;
+  request.heuristic = heuristic;
+  request.reply = &reply;
+  agent_->daemon(sed).inbox().send(middleware::SedRequest{request});
+
+  const auto response = reply.receive();
+  if (!response)
+    throw std::runtime_error("oagrid: estimation SeD closed its mailbox");
+  const auto* perf = std::get_if<middleware::PerfResponse>(&*response);
+  if (perf == nullptr || perf->request_id != request.request_id)
+    throw std::runtime_error("oagrid: unexpected SeD response to PerfRequest");
+  return perf->performance;
+}
+
+}  // namespace oagrid::service

@@ -1,0 +1,82 @@
+#pragma once
+/// \file estimator.hpp
+/// \brief Performance estimation backends for the service's decisions.
+///
+/// Admission-time scenario placement (Algorithm 1 over the leased
+/// allotments) and the shortest-remaining-makespan queue policy both need §5
+/// performance vectors. Three interchangeable sources:
+///  * AnalyticEstimator — closed-form steady-state throughput vectors
+///    (sched::throughput_performance_vector): microseconds per query, the
+///    default for a service making decisions on every admission;
+///  * SimEstimator — exact discrete-event vectors (sim::performance_vector):
+///    what a SeD would compute, run inline;
+///  * MiddlewareEstimator — the live middleware path: performance requests
+///    travel through a MasterAgent to real SeD threads (step 1-3 of
+///    Figure 9), one ephemeral SeD per distinct allotment size. This is how
+///    the ServiceLoop drives the estimation plane over the middleware
+///    instead of the DES-internal shortcut.
+///
+/// All three are deterministic for fixed inputs — a requirement, since
+/// recovery re-runs the decision logic and must reach identical plans.
+
+#include <map>
+#include <memory>
+
+#include "platform/cluster.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/repartition.hpp"
+
+namespace oagrid::middleware {
+class MasterAgent;
+}
+
+namespace oagrid::service {
+
+class PerfEstimator {
+ public:
+  virtual ~PerfEstimator() = default;
+
+  /// performance[k-1] ~ makespan of k scenarios x `months` months on
+  /// `cluster` (already resized to the leased allotment), k = 1..scenarios.
+  [[nodiscard]] virtual sched::PerformanceVector vector(
+      const platform::Cluster& cluster, Count scenarios, Count months,
+      sched::Heuristic heuristic) = 0;
+};
+
+/// Closed-form throughput estimate (no simulation).
+class AnalyticEstimator final : public PerfEstimator {
+ public:
+  [[nodiscard]] sched::PerformanceVector vector(
+      const platform::Cluster& cluster, Count scenarios, Count months,
+      sched::Heuristic heuristic) override;
+};
+
+/// Exact per-allotment discrete-event simulation, run inline.
+class SimEstimator final : public PerfEstimator {
+ public:
+  [[nodiscard]] sched::PerformanceVector vector(
+      const platform::Cluster& cluster, Count scenarios, Count months,
+      sched::Heuristic heuristic) override;
+};
+
+/// Queries live SeD threads through a private MasterAgent. Deploys one SeD
+/// per distinct (cluster name, allotment size) and caches the mapping, so a
+/// steady-state service keeps a small warm fleet.
+class MiddlewareEstimator final : public PerfEstimator {
+ public:
+  MiddlewareEstimator();
+  ~MiddlewareEstimator() override;
+
+  [[nodiscard]] sched::PerformanceVector vector(
+      const platform::Cluster& cluster, Count scenarios, Count months,
+      sched::Heuristic heuristic) override;
+
+  [[nodiscard]] int deployed_daemons() const noexcept;
+
+ private:
+  std::unique_ptr<middleware::MasterAgent> agent_;
+  std::map<std::pair<std::string, ProcCount>, ClusterId> deployed_;
+  int next_request_id_ = 1;
+};
+
+}  // namespace oagrid::service

@@ -1,0 +1,55 @@
+#include "service/queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oagrid::service {
+
+const char* to_string(QueuePolicy policy) noexcept {
+  switch (policy) {
+    case QueuePolicy::kFifo: return "fifo";
+    case QueuePolicy::kWeightedFairShare: return "fair";
+    case QueuePolicy::kShortestRemaining: return "srmf";
+  }
+  return "?";
+}
+
+QueuePolicy queue_policy_from(const std::string& name) {
+  if (name == "fifo") return QueuePolicy::kFifo;
+  if (name == "fair") return QueuePolicy::kWeightedFairShare;
+  if (name == "srmf") return QueuePolicy::kShortestRemaining;
+  throw std::invalid_argument("unknown queue policy '" + name +
+                              "' (fifo | fair | srmf)");
+}
+
+CampaignQueue::CampaignQueue(QueuePolicy policy, std::size_t capacity)
+    : policy_(policy), capacity_(capacity) {
+  OAGRID_REQUIRE(capacity >= 1, "queue capacity must be at least 1");
+}
+
+bool CampaignQueue::try_enqueue(CampaignId id) {
+  if (queued_.size() >= capacity_) return false;
+  queued_.push_back(id);
+  return true;
+}
+
+void CampaignQueue::remove(CampaignId id) {
+  const auto it = std::find(queued_.begin(), queued_.end(), id);
+  OAGRID_REQUIRE(it != queued_.end(), "campaign not queued");
+  queued_.erase(it);
+}
+
+std::vector<CampaignId> CampaignQueue::admission_order(
+    const std::function<double(CampaignId)>& priority) const {
+  std::vector<CampaignId> order = queued_;
+  if (policy_ == QueuePolicy::kFifo) return order;
+  // Stable sort: equal priorities keep submission order, so the ordering is
+  // deterministic and replayable.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](CampaignId a, CampaignId b) {
+                     return priority(a) < priority(b);
+                   });
+  return order;
+}
+
+}  // namespace oagrid::service

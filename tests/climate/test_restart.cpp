@@ -1,0 +1,121 @@
+#include "climate/restart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace oagrid::climate {
+namespace {
+
+ModelParams small_params() {
+  ModelParams p;
+  p.nlat = 8;
+  p.nlon = 16;
+  p.substeps = 5;
+  return p;
+}
+
+CoupledModel stepped_model() {
+  CoupledModel model(small_params());
+  for (int m = 0; m < 3; ++m) (void)model.step();
+  return model;
+}
+
+std::string restart_bytes(const CoupledModel& model) {
+  std::stringstream buffer;
+  write_restart(buffer, model);
+  return buffer.str();
+}
+
+TEST(Restart, RoundTripsBitIdentically) {
+  CoupledModel model = stepped_model();
+  std::stringstream buffer(restart_bytes(model));
+  CoupledModel back = read_restart(buffer);
+
+  EXPECT_EQ(back.month(), model.month());
+  EXPECT_EQ(back.atmosphere(), model.atmosphere());
+  EXPECT_EQ(back.ocean(), model.ocean());
+  // The resumed model continues exactly where the original stopped.
+  const MonthlyState a = back.step();
+  const MonthlyState b = model.step();
+  EXPECT_EQ(a.global_mean_atm, b.global_mean_atm);
+  EXPECT_EQ(a.global_mean_ocn, b.global_mean_ocn);
+}
+
+TEST(Restart, SizeMatchesTheStream) {
+  const CoupledModel model = stepped_model();
+  EXPECT_EQ(restart_bytes(model).size(), restart_size(model.params()));
+}
+
+TEST(Restart, EveryTruncationPointIsRejected) {
+  const std::string full = restart_bytes(stepped_model());
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW((void)read_restart(truncated), std::invalid_argument)
+        << "cut at byte " << cut << " of " << full.size();
+  }
+}
+
+TEST(Restart, TrailingBytesAreRejected) {
+  std::stringstream padded(restart_bytes(stepped_model()) + "junk");
+  EXPECT_THROW((void)read_restart(padded), std::invalid_argument);
+}
+
+TEST(Restart, BadMagicIsRejected) {
+  std::string bytes = restart_bytes(stepped_model());
+  bytes[0] = 'X';
+  std::stringstream stream(bytes);
+  EXPECT_THROW((void)read_restart(stream), std::invalid_argument);
+}
+
+TEST(Restart, CorruptGridDimensionsAreRejectedBeforeAllocating) {
+  // A bit-flipped nlat used to surface as a multi-gigabyte allocation (or
+  // bad_alloc) inside the model constructor; it must be a clean parse error.
+  const CoupledModel model = stepped_model();
+  std::string bytes = restart_bytes(model);
+
+  ModelParams corrupt = model.params();
+  corrupt.nlat = std::numeric_limits<int>::max() / 2;
+  bytes.replace(4, sizeof corrupt,
+                std::string(reinterpret_cast<const char*>(&corrupt),
+                            sizeof corrupt));
+  std::stringstream stream(bytes);
+  EXPECT_THROW((void)read_restart(stream), std::invalid_argument);
+
+  corrupt = model.params();
+  corrupt.nlon = 0;
+  bytes.replace(4, sizeof corrupt,
+                std::string(reinterpret_cast<const char*>(&corrupt),
+                            sizeof corrupt));
+  std::stringstream zero(bytes);
+  EXPECT_THROW((void)read_restart(zero), std::invalid_argument);
+}
+
+TEST(Restart, NonFinitePhysicsParametersAreRejected) {
+  const CoupledModel model = stepped_model();
+  std::string bytes = restart_bytes(model);
+  ModelParams corrupt = model.params();
+  corrupt.exchange = std::numeric_limits<double>::quiet_NaN();
+  bytes.replace(4, sizeof corrupt,
+                std::string(reinterpret_cast<const char*>(&corrupt),
+                            sizeof corrupt));
+  std::stringstream stream(bytes);
+  EXPECT_THROW((void)read_restart(stream), std::invalid_argument);
+}
+
+TEST(Restart, NegativeMonthCounterIsRejected) {
+  const CoupledModel model = stepped_model();
+  std::string bytes = restart_bytes(model);
+  const std::int32_t month = -1;
+  bytes.replace(4 + sizeof(ModelParams), sizeof month,
+                std::string(reinterpret_cast<const char*>(&month),
+                            sizeof month));
+  std::stringstream stream(bytes);
+  EXPECT_THROW((void)read_restart(stream), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oagrid::climate

@@ -1,0 +1,143 @@
+#include "service/lease.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/profiles.hpp"
+
+namespace oagrid::service {
+namespace {
+
+// A two-cluster grid with known shapes: min_group = 4, max_group = 11 on
+// every built-in profile, so the granularity numbers below are stable.
+platform::Grid two_clusters(ProcCount resources) {
+  std::vector<platform::Cluster> clusters;
+  clusters.push_back(platform::make_builtin_cluster(0, resources));
+  clusters.push_back(platform::make_builtin_cluster(1, resources));
+  return platform::Grid(std::move(clusters));
+}
+
+LeaseClaim pinned_claim(CampaignId id, double weight,
+                        std::vector<std::pair<ClusterId, Count>> pinned) {
+  LeaseClaim claim;
+  claim.campaign = id;
+  claim.weight = weight;
+  claim.pinned = std::move(pinned);
+  for (const auto& [cluster, count] : claim.pinned)
+    claim.unfinished_total += count;
+  return claim;
+}
+
+LeaseClaim newcomer_claim(CampaignId id, double weight, Count scenarios) {
+  LeaseClaim claim;
+  claim.campaign = id;
+  claim.weight = weight;
+  claim.newcomer = true;
+  claim.unfinished_total = scenarios;
+  return claim;
+}
+
+ProcCount granted(const std::vector<Lease>& plan, CampaignId campaign,
+                  ClusterId cluster) {
+  for (const Lease& lease : plan)
+    if (lease.campaign == campaign && lease.cluster == cluster)
+      return lease.procs;
+  return 0;
+}
+
+TEST(LeaseManager, SoleClaimantTakesWholeClusterUpToCap) {
+  const auto grid = two_clusters(40);
+  LeaseManager manager(&grid);
+
+  const auto plan =
+      manager.plan({pinned_claim(1, 1.0, {{0, 10}})});
+  EXPECT_EQ(granted(plan, 1, 0), 40);  // 10 scenarios can use 40 procs
+  EXPECT_EQ(granted(plan, 1, 1), 0);   // nothing pinned there
+
+  // With one scenario left, there is no point leasing past max_group.
+  const auto small = manager.plan({pinned_claim(1, 1.0, {{0, 1}})});
+  EXPECT_EQ(granted(small, 1, 0), 11);
+}
+
+TEST(LeaseManager, EqualWeightsSplitEvenly) {
+  const auto grid = two_clusters(40);
+  LeaseManager manager(&grid);
+  const auto plan = manager.plan({pinned_claim(1, 1.0, {{0, 10}}),
+                                  pinned_claim(2, 1.0, {{0, 10}})});
+  EXPECT_EQ(granted(plan, 1, 0), 20);
+  EXPECT_EQ(granted(plan, 2, 0), 20);
+}
+
+TEST(LeaseManager, WeightsSkewTheSplit) {
+  const auto grid = two_clusters(30);
+  LeaseManager manager(&grid);
+  const auto plan = manager.plan({pinned_claim(1, 2.0, {{0, 10}}),
+                                  pinned_claim(2, 1.0, {{0, 10}})});
+  EXPECT_EQ(granted(plan, 1, 0), 20);  // 2:1 weighted max-min
+  EXPECT_EQ(granted(plan, 2, 0), 10);
+}
+
+TEST(LeaseManager, PinnedFloorSurvivesHeavyCompetition) {
+  const auto grid = two_clusters(24);
+  LeaseManager manager(&grid);
+  // Campaign 2's scenarios are stuck on cluster 0 (cannot change location);
+  // even a 100x-weight competitor cannot squeeze it below min_group.
+  const auto plan = manager.plan({pinned_claim(1, 100.0, {{0, 10}}),
+                                  pinned_claim(2, 1.0, {{0, 10}})});
+  EXPECT_GE(granted(plan, 2, 0), grid.cluster(0).min_group());
+  EXPECT_GT(granted(plan, 1, 0), granted(plan, 2, 0));
+  EXPECT_EQ(granted(plan, 1, 0) + granted(plan, 2, 0), 24);
+}
+
+TEST(LeaseManager, SubMinimumLeasesAreDroppedAndReoffered) {
+  const auto grid = two_clusters(9);  // room for two groups nowhere
+  LeaseManager manager(&grid);
+  // Three equal newcomers on a 9-proc cluster would get 3 procs each —
+  // below min_group 4, useless. The plan must drop the newest claimants and
+  // re-offer their processors instead of leaking slivers.
+  const auto plan = manager.plan({newcomer_claim(1, 1.0, 4),
+                                  newcomer_claim(2, 1.0, 4),
+                                  newcomer_claim(3, 1.0, 4)});
+  int useful = 0;
+  for (ClusterId c = 0; c < grid.cluster_count(); ++c)
+    for (CampaignId id = 1; id <= 3; ++id) {
+      const ProcCount procs = granted(plan, id, c);
+      if (procs > 0) {
+        EXPECT_GE(procs, grid.cluster(c).min_group());
+        ++useful;
+      }
+    }
+  EXPECT_GE(useful, 2);  // two clusters' worth of useful leases exist
+}
+
+TEST(LeaseManager, NewcomerClaimsEveryCluster) {
+  const auto grid = two_clusters(20);
+  LeaseManager manager(&grid);
+  const auto plan = manager.plan({newcomer_claim(1, 1.0, 10)});
+  EXPECT_EQ(granted(plan, 1, 0), 20);
+  EXPECT_EQ(granted(plan, 1, 1), 20);
+}
+
+TEST(LeaseManager, AdmissibleTracksRemainingFloorRoom) {
+  const auto grid = two_clusters(8);  // each cluster fits two min-groups
+  LeaseManager manager(&grid);
+  EXPECT_TRUE(manager.admissible({}));
+  EXPECT_TRUE(manager.admissible({pinned_claim(1, 1.0, {{0, 5}})}));
+  // Two pinned incumbents per cluster exhaust every floor slot.
+  EXPECT_FALSE(manager.admissible({pinned_claim(1, 1.0, {{0, 5}, {1, 5}}),
+                                   pinned_claim(2, 1.0, {{0, 5}, {1, 5}})}));
+}
+
+TEST(LeaseManager, PlanIsDeterministic) {
+  const auto grid = two_clusters(37);
+  LeaseManager manager(&grid);
+  const std::vector<LeaseClaim> claims{pinned_claim(1, 1.5, {{0, 7}, {1, 3}}),
+                                       pinned_claim(2, 1.0, {{0, 2}}),
+                                       newcomer_claim(3, 2.0, 5)};
+  const auto a = manager.plan(claims);
+  const auto b = manager.plan(claims);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+}
+
+}  // namespace
+}  // namespace oagrid::service

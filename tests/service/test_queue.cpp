@@ -1,0 +1,56 @@
+#include "service/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace oagrid::service {
+namespace {
+
+TEST(QueuePolicy, ParsesAndPrints) {
+  EXPECT_EQ(queue_policy_from("fifo"), QueuePolicy::kFifo);
+  EXPECT_EQ(queue_policy_from("fair"), QueuePolicy::kWeightedFairShare);
+  EXPECT_EQ(queue_policy_from("srmf"), QueuePolicy::kShortestRemaining);
+  EXPECT_STREQ(to_string(QueuePolicy::kFifo), "fifo");
+  EXPECT_STREQ(to_string(QueuePolicy::kWeightedFairShare), "fair");
+  EXPECT_STREQ(to_string(QueuePolicy::kShortestRemaining), "srmf");
+  EXPECT_THROW((void)queue_policy_from("lifo"), std::invalid_argument);
+}
+
+TEST(CampaignQueue, BoundedCapacityRejects) {
+  CampaignQueue queue(QueuePolicy::kFifo, 2);
+  EXPECT_TRUE(queue.try_enqueue(1));
+  EXPECT_TRUE(queue.try_enqueue(2));
+  EXPECT_FALSE(queue.try_enqueue(3));  // admission control back-pressure
+  EXPECT_EQ(queue.depth(), 2u);
+  queue.remove(1);
+  EXPECT_TRUE(queue.try_enqueue(3));
+}
+
+TEST(CampaignQueue, RemoveUnknownThrows) {
+  CampaignQueue queue(QueuePolicy::kFifo, 4);
+  ASSERT_TRUE(queue.try_enqueue(1));
+  EXPECT_THROW(queue.remove(2), std::invalid_argument);
+}
+
+TEST(CampaignQueue, FifoIgnoresPriorities) {
+  CampaignQueue queue(QueuePolicy::kFifo, 8);
+  for (CampaignId id : {5u, 3u, 9u, 1u}) ASSERT_TRUE(queue.try_enqueue(id));
+  const auto order = queue.admission_order(
+      [](CampaignId id) { return -static_cast<double>(id); });
+  EXPECT_EQ(order, (std::vector<CampaignId>{5, 3, 9, 1}));
+}
+
+TEST(CampaignQueue, PolicySortsAscendingWithStableTies) {
+  CampaignQueue queue(QueuePolicy::kWeightedFairShare, 8);
+  for (CampaignId id : {1u, 2u, 3u, 4u}) ASSERT_TRUE(queue.try_enqueue(id));
+  const std::map<CampaignId, double> priority{
+      {1, 2.0}, {2, 0.5}, {3, 2.0}, {4, 0.5}};
+  const auto order =
+      queue.admission_order([&](CampaignId id) { return priority.at(id); });
+  // 2 and 4 share the lowest priority: submission order breaks the tie.
+  EXPECT_EQ(order, (std::vector<CampaignId>{2, 4, 1, 3}));
+}
+
+}  // namespace
+}  // namespace oagrid::service

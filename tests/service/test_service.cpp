@@ -1,0 +1,192 @@
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "platform/profiles.hpp"
+
+namespace oagrid::service {
+namespace {
+
+platform::Grid small_grid(int clusters, ProcCount resources) {
+  std::vector<platform::Cluster> set;
+  for (int i = 0; i < clusters; ++i)
+    set.push_back(platform::make_builtin_cluster(i, resources));
+  return platform::Grid(std::move(set));
+}
+
+std::unique_ptr<CampaignService> make_service(int clusters, ProcCount resources,
+                                              ServiceOptions options = {}) {
+  return std::make_unique<CampaignService>(small_grid(clusters, resources),
+                                           std::move(options));
+}
+
+CampaignSpec spec(const std::string& owner, Count scenarios, Count months,
+                  double weight = 1.0) {
+  CampaignSpec s;
+  s.owner = owner;
+  s.weight = weight;
+  s.scenarios = scenarios;
+  s.months = months;
+  return s;
+}
+
+TEST(CampaignService, SingleCampaignRunsToCompletion) {
+  auto service = make_service(1, 24);
+  const CampaignId id = service->submit(spec("alice", 3, 4));
+  EXPECT_TRUE(service->run());
+
+  const CampaignState& state = service->campaign(id);
+  EXPECT_EQ(state.status, CampaignStatus::kCompleted);
+  EXPECT_EQ(state.months_done, 12);
+  for (const MonthIndex m : state.frontier) EXPECT_EQ(m, 4);
+  EXPECT_GT(state.makespan(), 0.0);
+  EXPECT_TRUE(service->active_leases().empty());
+  EXPECT_EQ(service->queue_depth(), 0u);
+  // Every scenario stayed on its admission-time cluster (trivially here).
+  for (const ClusterId c : state.assignment) EXPECT_EQ(c, 0);
+}
+
+TEST(CampaignService, SubmissionOrderAndLifecycleAreEnforced) {
+  auto service = make_service(1, 24);
+  (void)service->submit(spec("alice", 1, 1), 100.0);
+  EXPECT_THROW((void)service->submit(spec("bob", 1, 1), 50.0),
+               std::invalid_argument);  // arrivals must be non-decreasing
+  EXPECT_TRUE(service->run());
+  EXPECT_THROW((void)service->submit(spec("bob", 1, 1), 200.0),
+               std::invalid_argument);  // no submissions after run()
+}
+
+TEST(CampaignService, QueueFullRejectsAndMaxActiveSerializes) {
+  ServiceOptions options;
+  options.policy = QueuePolicy::kFifo;
+  options.queue_capacity = 1;
+  options.max_active = 1;
+  auto service = make_service(1, 24, options);
+  const CampaignId c1 = service->submit(spec("alice", 2, 2), 0.0);
+  const CampaignId c2 = service->submit(spec("bob", 2, 2), 0.0);
+  const CampaignId c3 = service->submit(spec("carol", 2, 2), 0.0);
+  EXPECT_TRUE(service->run());
+
+  EXPECT_EQ(service->campaign(c1).status, CampaignStatus::kCompleted);
+  EXPECT_EQ(service->campaign(c2).status, CampaignStatus::kCompleted);
+  // c1 was admitted instantly (leaving the queue), c2 filled the one queue
+  // slot, c3 hit admission control.
+  EXPECT_EQ(service->campaign(c3).status, CampaignStatus::kRejected);
+  // One tenant at a time: c2 waited for c1 to finish.
+  EXPECT_GE(service->campaign(c2).admit_time,
+            service->campaign(c1).finish_time);
+  EXPECT_GT(service->campaign(c2).admit_time, 0.0);
+}
+
+TEST(CampaignService, ConcurrentCampaignsShareTheCluster) {
+  auto service = make_service(1, 30);
+  const CampaignId c1 = service->submit(spec("alice", 3, 4), 0.0);
+  const CampaignId c2 = service->submit(spec("bob", 3, 4), 0.0);
+  EXPECT_TRUE(service->run());
+
+  // Both admitted at t = 0: the second did not wait for the first.
+  EXPECT_EQ(service->campaign(c1).admit_time, 0.0);
+  EXPECT_EQ(service->campaign(c2).admit_time, 0.0);
+  EXPECT_EQ(service->campaign(c1).status, CampaignStatus::kCompleted);
+  EXPECT_EQ(service->campaign(c2).status, CampaignStatus::kCompleted);
+  // Elastic leases were re-carved at least when c2 arrived and when each
+  // campaign released its allotment.
+  EXPECT_GE(service->lease_changes(), 4u);
+}
+
+TEST(CampaignService, RunsAreDeterministic) {
+  std::vector<Seconds> finish_a, finish_b;
+  for (std::vector<Seconds>* finishes : {&finish_a, &finish_b}) {
+    ServiceOptions options;
+    options.max_active = 2;
+    auto service = make_service(2, 20, options);
+    const CampaignId c1 = service->submit(spec("alice", 3, 3, 1.0), 0.0);
+    const CampaignId c2 = service->submit(spec("bob", 2, 4, 2.0), 0.0);
+    const CampaignId c3 = service->submit(spec("carol", 2, 2, 1.0), 1500.0);
+    EXPECT_TRUE(service->run());
+    for (const CampaignId id : {c1, c2, c3})
+      finishes->push_back(service->campaign(id).finish_time);
+  }
+  EXPECT_EQ(finish_a, finish_b);  // bit-for-bit, not approximately
+}
+
+TEST(CampaignService, FairShareAdmitsTheLeastConsumingOwnerFirst) {
+  // alice's first campaign runs alone and racks up consumption; when it
+  // finishes, fair share admits bob's queued campaign before alice's second
+  // one, despite submission order. FIFO does the opposite.
+  const auto run_policy = [](QueuePolicy policy) {
+    ServiceOptions options;
+    options.policy = policy;
+    options.max_active = 1;
+    auto service = make_service(1, 24, options);
+    const CampaignId a1 = service->submit(spec("alice", 2, 2), 0.0);
+    const CampaignId a2 = service->submit(spec("alice", 2, 2), 0.0);
+    const CampaignId b1 = service->submit(spec("bob", 2, 2), 0.0);
+    EXPECT_TRUE(service->run());
+    (void)a1;
+    return std::pair{service->campaign(a2).admit_time,
+                     service->campaign(b1).admit_time};
+  };
+
+  const auto [fifo_a2, fifo_b1] = run_policy(QueuePolicy::kFifo);
+  EXPECT_LT(fifo_a2, fifo_b1);
+  const auto [fair_a2, fair_b1] = run_policy(QueuePolicy::kWeightedFairShare);
+  EXPECT_LT(fair_b1, fair_a2);
+}
+
+TEST(CampaignService, ShortestRemainingAdmitsTheSmallCampaignFirst) {
+  ServiceOptions options;
+  options.policy = QueuePolicy::kShortestRemaining;
+  options.max_active = 1;
+  auto service = make_service(1, 24, options);
+  (void)service->submit(spec("alice", 3, 3), 0.0);     // occupies the grid
+  const CampaignId big = service->submit(spec("bob", 6, 3), 0.0);
+  const CampaignId tiny = service->submit(spec("carol", 1, 1), 0.0);
+  EXPECT_TRUE(service->run());
+  EXPECT_LT(service->campaign(tiny).admit_time,
+            service->campaign(big).admit_time);
+}
+
+TEST(CampaignService, WeightSkewsConcurrentLeases) {
+  // Two owners sharing one cluster, 3:1 weights: the heavy one finishes
+  // first because it holds the bigger slice throughout.
+  auto service = make_service(1, 24);
+  const CampaignId heavy = service->submit(spec("heavy", 3, 4, 3.0), 0.0);
+  const CampaignId light = service->submit(spec("light", 3, 4, 1.0), 0.0);
+  EXPECT_TRUE(service->run());
+  EXPECT_LT(service->campaign(heavy).finish_time,
+            service->campaign(light).finish_time);
+}
+
+TEST(CampaignService, ObsMetricsCoverTheRun) {
+  obs::set_enabled(true);
+  obs::reset();
+  {
+    ServiceOptions options;
+    options.max_active = 1;
+    options.queue_capacity = 1;
+    auto service = make_service(1, 24, options);
+    (void)service->submit(spec("alice", 2, 3), 0.0);
+    (void)service->submit(spec("bob", 2, 3), 0.0);
+    (void)service->submit(spec("carol", 1, 1), 0.0);  // rejected: queue full
+    EXPECT_TRUE(service->run());
+  }
+  auto& metrics = obs::metrics();
+  EXPECT_EQ(metrics.counter("service.campaigns.submitted").value(), 3u);
+  EXPECT_EQ(metrics.counter("service.campaigns.admitted").value(), 2u);
+  EXPECT_EQ(metrics.counter("service.campaigns.rejected").value(), 1u);
+  EXPECT_EQ(metrics.counter("service.campaigns.completed").value(), 2u);
+  EXPECT_EQ(metrics.counter("service.months.completed").value(), 12u);
+  EXPECT_GT(metrics.counter("service.lease.changes").value(), 0u);
+  EXPECT_EQ(metrics.histogram("service.queue.wait_s").snapshot().count, 2u);
+  EXPECT_EQ(metrics.gauge("service.queue.depth").value(), 0.0);
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+}  // namespace
+}  // namespace oagrid::service

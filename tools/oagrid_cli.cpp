@@ -6,13 +6,17 @@
 ///   oagrid_cli grid      --clusters 5 --resources 30 [--hierarchy]
 ///   oagrid_cli sweep     --from 20 --to 120 --step 4 --csv
 ///   oagrid_cli calibrate --reps 2
+///   oagrid_cli serve     --campaigns alice:3x12,bob:2x12:w2 --journal DIR
 ///
 /// `schedule` prints every heuristic's grouping and closed-form/simulated
 /// makespans for one cluster; `simulate` runs one campaign in the DES;
 /// `grid` runs the full §5 client/agent/SeD protocol; `sweep` regenerates a
 /// Figure-8-style gain table; `calibrate` benchmarks the real climate
-/// pipeline on this machine and emits a grid-file snippet.
+/// pipeline on this machine and emits a grid-file snippet; `serve` runs the
+/// multi-tenant campaign service with a crash-recoverable journal
+/// (--kill-after injects a crash, --resume recovers from it).
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -32,6 +36,7 @@
 #include "sim/ensemble_sim.hpp"
 #include "sim/exporters.hpp"
 #include "sim/fluid_grid.hpp"
+#include "service/service.hpp"
 #include "sim/grid_sim.hpp"
 #include "sim/local_search.hpp"
 #include "sim/trace_stats.hpp"
@@ -460,6 +465,188 @@ int cmd_sweep(const std::vector<std::string>& argv) {
   return 0;
 }
 
+struct ServeEntry {
+  service::CampaignSpec spec;
+  Seconds at = 0.0;
+};
+
+/// Parses the --campaigns list: `owner:NSxNM[:wW][@arrival]`, comma
+/// separated, in non-decreasing arrival order (the service's submission
+/// invariant). Example: "alice:3x12,bob:2x12:w2,carol:2x8@20000".
+std::vector<ServeEntry> parse_campaigns(const std::string& text) {
+  const auto bad = [](const std::string& item) {
+    return std::invalid_argument("bad campaign '" + item +
+                                 "' (expected owner:NSxNM[:wW][@arrival])");
+  };
+  std::vector<ServeEntry> entries;
+  std::stringstream list(text);
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    if (item.empty()) continue;
+    ServeEntry entry;
+    std::string body = item;
+    if (const auto at = body.find('@'); at != std::string::npos) {
+      entry.at = std::stod(body.substr(at + 1));
+      body.resize(at);
+    }
+    std::vector<std::string> parts;
+    std::stringstream fields(body);
+    for (std::string part; std::getline(fields, part, ':');)
+      parts.push_back(part);
+    if (parts.size() < 2 || parts.size() > 3) throw bad(item);
+    entry.spec.owner = parts[0];
+    const auto x = parts[1].find('x');
+    if (x == std::string::npos) throw bad(item);
+    entry.spec.scenarios =
+        static_cast<Count>(std::stoll(parts[1].substr(0, x)));
+    entry.spec.months = static_cast<Count>(std::stoll(parts[1].substr(x + 1)));
+    if (parts.size() == 3) {
+      if (parts[2].size() < 2 || parts[2][0] != 'w') throw bad(item);
+      entry.spec.weight = std::stod(parts[2].substr(1));
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty())
+    throw std::invalid_argument("--campaigns lists no campaigns");
+  return entries;
+}
+
+int cmd_serve(const std::vector<std::string>& argv) {
+  ArgParser args("oagrid_cli serve",
+                 "Multi-tenant campaign service with a crash-recoverable "
+                 "journal");
+  args.add_option("campaigns",
+                  "comma list owner:NSxNM[:wW][@arrival], arrivals "
+                  "non-decreasing",
+                  "alice:3x12,bob:2x12:w2,carol:2x8@20000")
+      .add_option("clusters", "number of built-in clusters (1-5)", "3")
+      .add_option("resources", "processors per cluster", "25")
+      .add_option("grid-file", "platform description file", "")
+      .add_option("policy", "queue policy: fifo | fair | srmf", "fair")
+      .add_option("heuristic", "grouping heuristic", "knapsack")
+      .add_option("estimator",
+                  "performance backend: analytic | sim | middleware",
+                  "analytic")
+      .add_option("max-active", "concurrently running tenants", "4")
+      .add_option("queue-capacity", "admission-control queue bound", "64")
+      .add_option("journal",
+                  "journal directory: enables crash recovery (created if "
+                  "missing; without --resume any previous journal there is "
+                  "discarded)",
+                  "")
+      .add_option("snapshot-every",
+                  "journal records between compacting snapshots (0 = never)",
+                  "0")
+      .add_option("kill-after",
+                  "crash injection: die after N journal appends (-1 = off)",
+                  "-1")
+      .add_flag("resume",
+                "recover from --journal, then run the not-yet-journaled "
+                "tail of --campaigns");
+  add_obs_options(args);
+  args.parse(argv);
+  const ObsSession obs_session(args);
+
+  const platform::Grid grid = [&] {
+    const std::string file = args.get("grid-file");
+    if (!file.empty()) {
+      std::ifstream in(file);
+      if (!in) throw std::invalid_argument("cannot open " + file);
+      return platform::parse_grid(in);
+    }
+    return platform::make_builtin_grid(
+               static_cast<ProcCount>(args.get_int("resources")))
+        .prefix(static_cast<int>(args.get_int("clusters")));
+  }();
+
+  service::ServiceOptions options;
+  options.policy = service::queue_policy_from(args.get("policy"));
+  options.heuristic = heuristic_from(args.get("heuristic"));
+  options.max_active = static_cast<int>(args.get_int("max-active"));
+  options.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity"));
+  options.journal_dir = args.get("journal");
+  options.snapshot_every = args.get_int("snapshot-every");
+  options.kill_after_records = args.get_int("kill-after");
+  std::unique_ptr<service::PerfEstimator> estimator;
+  if (const std::string name = args.get("estimator"); name == "sim")
+    estimator = std::make_unique<service::SimEstimator>();
+  else if (name == "middleware")
+    estimator = std::make_unique<service::MiddlewareEstimator>();
+  else if (name != "analytic")
+    throw std::invalid_argument("unknown estimator '" + name +
+                                "' (analytic | sim | middleware)");
+  options.estimator = estimator.get();
+
+  const bool resume = args.flag("resume");
+  if (resume && options.journal_dir.empty())
+    throw std::invalid_argument("--resume needs --journal DIR");
+  if (!options.journal_dir.empty()) {
+    std::filesystem::create_directories(options.journal_dir);
+    if (!resume) {
+      // A fresh serve owns the directory: drop any previous run's state so
+      // stale snapshots cannot outlive the journal they belong to.
+      std::filesystem::remove(
+          service::CampaignService::journal_path(options.journal_dir));
+      std::filesystem::remove(
+          service::CampaignService::snapshot_path(options.journal_dir));
+    }
+  }
+
+  service::CampaignService svc(grid, options);
+  if (resume) {
+    const service::RecoveryReport report = svc.recover();
+    std::cout << "recovery: "
+              << (report.journal_found ? "journal found" : "no journal")
+              << ", " << report.replayed_records << " records replayed";
+    if (report.snapshot_used)
+      std::cout << ", snapshot@" << report.snapshot_seq;
+    if (report.torn_tail)
+      std::cout << ", torn tail (" << report.dropped_bytes
+                << " bytes dropped)";
+    std::cout << ", clock at " << fmt_duration(report.resume_time) << "\n";
+  }
+
+  const std::vector<ServeEntry> entries = parse_campaigns(args.get("campaigns"));
+  const std::size_t known = svc.campaign_ids().size();
+  if (known > 0)
+    std::cout << known << " campaigns already journaled, submitting "
+              << (entries.size() > known ? entries.size() - known : 0)
+              << " more\n";
+  for (std::size_t i = known; i < entries.size(); ++i)
+    (void)svc.submit(entries[i].spec, entries[i].at);
+
+  const bool completed = svc.run();
+
+  TableWriter table({"id", "owner", "w", "NSxNM", "status", "admitted",
+                     "finished", "makespan"});
+  for (const service::CampaignId id : svc.campaign_ids()) {
+    const service::CampaignState& state = svc.campaign(id);
+    const bool done = state.status == service::CampaignStatus::kCompleted;
+    table.add_row({std::to_string(id), state.spec.owner,
+                   fmt(state.spec.weight, 1),
+                   std::to_string(state.spec.scenarios) + "x" +
+                       std::to_string(state.spec.months),
+                   to_string(state.status),
+                   done || state.status == service::CampaignStatus::kRunning
+                       ? fmt_duration(state.admit_time)
+                       : "-",
+                   done ? fmt_duration(state.finish_time) : "-",
+                   done ? fmt_duration(state.makespan()) : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "\nservice clock: " << fmt_duration(svc.now()) << ", "
+            << svc.lease_changes() << " lease changes, journal seq "
+            << svc.journal_seq() << "\n";
+  obs_session.finish();
+  if (!completed) {
+    std::cout << "service killed by --kill-after; rerun with --resume to "
+                 "continue\n";
+    return 3;
+  }
+  return 0;
+}
+
 int cmd_calibrate(const std::vector<std::string>& argv) {
   ArgParser args("oagrid_cli calibrate",
                  "Benchmark the real climate pipeline and emit a grid file");
@@ -486,7 +673,8 @@ int cmd_calibrate(const std::vector<std::string>& argv) {
 int main(int argc, char** argv) {
   const std::string usage =
       "usage: oagrid_cli "
-      "<schedule|simulate|grid|sweep|calibrate|dynamic|export> [options]\n"
+      "<schedule|simulate|grid|serve|sweep|calibrate|dynamic|export> "
+      "[options]\n"
       "       oagrid_cli <command> --help\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -504,6 +692,7 @@ int main(int argc, char** argv) {
     if (command == "schedule") return cmd_schedule(rest);
     if (command == "simulate") return cmd_simulate(rest);
     if (command == "grid") return cmd_grid(rest);
+    if (command == "serve") return cmd_serve(rest);
     if (command == "sweep") return cmd_sweep(rest);
     if (command == "calibrate") return cmd_calibrate(rest);
     if (command == "dynamic") return cmd_dynamic(rest);
