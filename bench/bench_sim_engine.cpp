@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "obs/obs.hpp"
 #include "platform/profiles.hpp"
 #include "sim/engine.hpp"
@@ -152,9 +153,10 @@ bool check_obs_overhead() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json = oagrid::bench::extract_bench_json(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  oagrid::bench::run_benchmarks(json);
   benchmark::Shutdown();
   return check_obs_overhead() ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+
 namespace oagrid {
 
 std::size_t default_parallelism() noexcept {
@@ -22,7 +24,10 @@ void parallel_for(std::size_t begin, std::size_t end,
   if (threads == 0) threads = default_parallelism();
   threads = std::min(threads, n);
 
-  if (threads <= 1) {
+  if (threads <= 1 || detail::in_parallel_region()) {
+    // Serial fallback (also the nested-use guard): in-order execution makes
+    // exception propagation strictly first-come-wins.
+    const detail::RegionMark mark;
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -34,6 +39,7 @@ void parallel_for(std::size_t begin, std::size_t end,
   std::mutex error_mutex;
 
   auto worker = [&] {
+    const detail::RegionMark mark;
     try {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);

@@ -21,7 +21,9 @@ namespace oagrid {
 /// (0 = default_parallelism()). Blocks until all iterations finish. The body
 /// must be safe to call concurrently for distinct i. Falls back to a plain
 /// loop when the range is tiny or threads == 1 to keep tests deterministic
-/// in single-thread configurations.
+/// in single-thread configurations. Nested use — a body that itself calls
+/// parallel_for (or a ThreadPool region) — runs the inner loop inline in
+/// index order instead of spawning a second tier of threads.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);

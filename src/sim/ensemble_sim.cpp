@@ -7,7 +7,7 @@
 
 #include "common/rng.hpp"
 #include "obs/obs.hpp"
-#include "sim/engine.hpp"
+#include "sim/calendar.hpp"
 
 namespace oagrid::sim {
 namespace {
@@ -31,6 +31,46 @@ struct PostTask {
   MonthIndex month = 0;
 };
 
+/// FIFO queue over a growable flat buffer: O(1) amortized push/pop with no
+/// per-element allocation (std::deque allocates a fresh chunk every ~128
+/// elements, which shows up at per-month frequency). The consumed prefix is
+/// reclaimed lazily once it dominates the buffer.
+template <typename T>
+class FlatQueue {
+ public:
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  [[nodiscard]] bool empty() const noexcept { return head_ == buf_.size(); }
+  void push(T value) { buf_.push_back(std::move(value)); }
+  T pop() {
+    T value = std::move(buf_[head_++]);
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ >= 1024 && head_ * 2 >= buf_.size()) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    return value;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+};
+
+/// The simulator's entire event vocabulary: a main task or a post task
+/// finishing. Plain struct — scheduling one is a push into the calendar's
+/// flat heap, not a std::function allocation.
+struct SimEvent {
+  enum class Kind : std::uint8_t { kMainDone, kPostDone };
+  Kind kind = Kind::kMainDone;
+  bool failed = false;
+  int unit = 0;  ///< group index (kMainDone) or post worker id (kPostDone)
+  ScenarioId scenario = 0;
+  MonthIndex month = 0;
+};
+
 class EnsembleSimulation {
  public:
   EnsembleSimulation(const platform::Cluster& cluster,
@@ -49,13 +89,22 @@ class EnsembleSimulation {
       total_months_ += m;
     }
     schedule_.validate(cluster_);
+    groups_.reserve(schedule_.group_sizes.size());
     for (const ProcCount size : schedule_.group_sizes)
       groups_.push_back(Group{size, cluster_.main_time(size), false, false, 0.0});
     scenarios_.resize(months_limit_.size());
-    for (ScenarioId s = 0; s < scenario_count(); ++s) fifo_.push_back(s);
+    if (options_.dispatch == DispatchRule::kFifo)
+      for (ScenarioId s = 0; s < scenario_count(); ++s) fifo_.push_back(s);
+    // Pending events never exceed one per busy unit: groups plus however
+    // many post workers the policy can create (bounded by the cluster).
+    calendar_.reserve(groups_.size() +
+                      static_cast<std::size_t>(cluster_.resources()) + 4);
+    free_workers_.reserve(static_cast<std::size_t>(cluster_.resources()) + 4);
     for (ProcCount w = 0; w < schedule_.post_pool; ++w)
-      free_workers_.push_back(next_worker_id_++);
+      free_workers_.push(next_worker_id_++);
     posts_enabled_ = schedule_.post_policy == sched::PostPolicy::kPoolThenRetired;
+    if (options_.capture_trace)
+      result_.trace.reserve(2 * static_cast<std::size_t>(total_months_));
     if (options_.obs_trace != nullptr) {
       const std::string prefix =
           options_.obs_label.empty() ? "" : options_.obs_label + " ";
@@ -72,7 +121,16 @@ class EnsembleSimulation {
     const double wall_start_us =
         observed ? obs::WallClock::instance().now_us() : 0.0;
     dispatch_mains();
-    result_.events = engine_.run();
+    std::size_t executed = 0;
+    while (!calendar_.empty()) {
+      const SimEvent event = calendar_.pop();
+      ++executed;
+      if (event.kind == SimEvent::Kind::kMainDone)
+        finish_main(event.unit, event.scenario, event.month, event.failed);
+      else
+        finish_post(event.unit);
+    }
+    result_.events = executed;
     result_.makespan = std::max(result_.main_phase_end, last_post_end_);
     double busy = 0.0;
     double alloc = 0.0;
@@ -214,7 +272,7 @@ class EnsembleSimulation {
         options_.perturbation.failure_probability > 0.0 &&
         rng_.uniform() < options_.perturbation.failure_probability;
     group.busy_seconds += duration;
-    const Seconds start = engine_.now();
+    const Seconds start = calendar_.now();
     const Seconds end = start + duration;
     // Failed attempts occupy the group but are not recorded: the trace
     // documents successful executions (its invariants assume uniqueness).
@@ -225,8 +283,8 @@ class EnsembleSimulation {
       emit_sim_event("s" + std::to_string(s) + " m" + std::to_string(month),
                      fails ? "retry" : "main", options_.obs_track_base + g,
                      start, end);
-    engine_.schedule_at(
-        end, [this, g, s, month, fails] { finish_main(g, s, month, fails); });
+    calendar_.schedule(
+        end, SimEvent{SimEvent::Kind::kMainDone, fails, g, s, month});
   }
 
   void finish_main(int g, ScenarioId s, MonthIndex month, bool failed) {
@@ -245,16 +303,20 @@ class EnsembleSimulation {
       ++scenario.months_done;
       ++months_done_total_;
       ++result_.mains_executed;
-      result_.main_phase_end = std::max(result_.main_phase_end, engine_.now());
-      post_queue_.push_back(PostTask{s, month});
+      result_.main_phase_end =
+          std::max(result_.main_phase_end, calendar_.now());
+      post_queue_.push(PostTask{s, month});
       if (options_.progress_every > 0 && options_.on_progress &&
           months_done_total_ % options_.progress_every == 0)
-        options_.on_progress(months_done_total_, engine_.now());
+        options_.on_progress(months_done_total_, calendar_.now());
     }
 
-    // FIFO rule: the scenario re-enters the queue at the back.
-    fifo_.erase(std::find(fifo_.begin(), fifo_.end(), s));
-    fifo_.push_back(s);
+    // FIFO rule: the scenario re-enters the queue at the back. The queue is
+    // only maintained when the rule can observe it.
+    if (options_.dispatch == DispatchRule::kFifo) {
+      fifo_.erase(std::find(fifo_.begin(), fifo_.end(), s));
+      fifo_.push_back(s);
+    }
 
     if (months_done_total_ == total_months()) on_all_mains_done();
     dispatch_mains();
@@ -267,7 +329,7 @@ class EnsembleSimulation {
       // The whole cluster turns into post workers (paper's Improvement 2:
       // "leave all the post-processing at the end").
       for (ProcCount w = 0; w < cluster_.resources(); ++w)
-        free_workers_.push_back(next_worker_id_++);
+        free_workers_.push(next_worker_id_++);
     }
   }
 
@@ -278,7 +340,7 @@ class EnsembleSimulation {
       group.retired = true;
       if (schedule_.post_policy == sched::PostPolicy::kPoolThenRetired)
         for (ProcCount w = 0; w < group.size; ++w)
-          free_workers_.push_back(next_worker_id_++);
+          free_workers_.push(next_worker_id_++);
     }
     dispatch_posts();
   }
@@ -286,11 +348,9 @@ class EnsembleSimulation {
   void dispatch_posts() {
     if (!posts_enabled_) return;
     while (!post_queue_.empty() && !free_workers_.empty()) {
-      const PostTask post = post_queue_.front();
-      post_queue_.pop_front();
-      const int worker = free_workers_.front();
-      free_workers_.erase(free_workers_.begin());
-      const Seconds start = engine_.now();
+      const PostTask post = post_queue_.pop();
+      const int worker = free_workers_.pop();
+      const Seconds start = calendar_.now();
       const Seconds end = start + jittered(cluster_.post_time());
       if (options_.capture_trace)
         result_.trace.record(TraceEntry{UnitKind::kPostWorker, worker,
@@ -299,14 +359,15 @@ class EnsembleSimulation {
         emit_sim_event("post s" + std::to_string(post.scenario) + " m" +
                            std::to_string(post.month),
                        "post", post_track(worker), start, end);
-      engine_.schedule_at(end, [this, worker] { finish_post(worker); });
+      calendar_.schedule(
+          end, SimEvent{SimEvent::Kind::kPostDone, false, worker, 0, 0});
     }
   }
 
   void finish_post(int worker) {
     ++result_.posts_executed;
-    last_post_end_ = std::max(last_post_end_, engine_.now());
-    free_workers_.push_back(worker);
+    last_post_end_ = std::max(last_post_end_, calendar_.now());
+    free_workers_.push(worker);
     dispatch_posts();
   }
 
@@ -347,17 +408,17 @@ class EnsembleSimulation {
   SimOptions options_;
   Rng rng_;
 
-  Engine engine_;
+  Calendar<SimEvent> calendar_;
   std::vector<Group> groups_;
   std::vector<Scenario> scenarios_;
-  std::deque<ScenarioId> fifo_;
+  std::deque<ScenarioId> fifo_;  ///< maintained only under DispatchRule::kFifo
   Count rr_cursor_ = 0;
 
   Count months_dispatched_total_ = 0;
   Count months_done_total_ = 0;
 
-  std::deque<PostTask> post_queue_;
-  std::vector<int> free_workers_;
+  FlatQueue<PostTask> post_queue_;
+  FlatQueue<int> free_workers_;
   int next_worker_id_ = 0;
   bool posts_enabled_ = false;
   Seconds last_post_end_ = 0.0;

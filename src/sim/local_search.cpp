@@ -1,16 +1,33 @@
 #include "sim/local_search.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
+#include <numeric>
+#include <unordered_map>
 
+#include "common/thread_pool.hpp"
 #include "knapsack/knapsack.hpp"
 #include "sched/heuristics.hpp"
 #include "sim/ensemble_sim.hpp"
+#include "sim/eval_cache.hpp"
 
 namespace oagrid::sim {
 namespace {
 
 using Sizes = std::vector<ProcCount>;
+
+/// FNV-1a over the size multiset — the search-local memo is on the hot path
+/// and a flat hash probe beats std::map's pointer chase per lookup.
+struct SizesHash {
+  std::size_t operator()(const Sizes& sizes) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const ProcCount s : sizes) {
+      h ^= static_cast<std::uint32_t>(s);
+      h *= 0x00000100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
 
 Sizes canonical(Sizes sizes) {
   std::sort(sizes.begin(), sizes.end(), std::greater<>());
@@ -23,6 +40,10 @@ Sizes canonical(Sizes sizes) {
 std::vector<Sizes> neighbors(const Sizes& sizes, const platform::Cluster& cluster,
                              Count max_groups) {
   std::vector<Sizes> out;
+  // Upper bound on generated candidates: four single-group moves plus two
+  // pairwise moves per (i, j); reserving it up-front keeps the generation
+  // loop free of vector regrowth.
+  out.reserve(sizes.size() * (2 * sizes.size() + 2) + 1);
   const ProcCount used =
       std::accumulate(sizes.begin(), sizes.end(), ProcCount{0});
   const ProcCount spare = cluster.resources() - used;
@@ -90,6 +111,9 @@ std::vector<Sizes> neighbors(const Sizes& sizes, const platform::Cluster& cluste
     push(std::move(c));
   }
 
+  // Dedup keeps the sorted order the hill climb's first-min tie-break relies
+  // on; candidate ordering (hence the search trajectory) must not depend on
+  // move generation order.
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
@@ -103,19 +127,31 @@ LocalSearchResult local_search_grouping(const platform::Cluster& cluster,
   ensemble.validate();
   OAGRID_REQUIRE(options.max_accepted_moves >= 0, "negative move budget");
 
-  std::map<Sizes, Seconds> memo;
-  LocalSearchResult result;
-  auto evaluate = [&](const Sizes& sizes) -> Seconds {
-    const auto it = memo.find(sizes);
-    if (it != memo.end()) return it->second;
+  auto schedule_for = [&](const Sizes& sizes) {
     sched::GroupSchedule schedule;
     schedule.group_sizes = sizes;
     schedule.post_pool =
         cluster.resources() -
         std::accumulate(sizes.begin(), sizes.end(), ProcCount{0});
     schedule.post_policy = sched::PostPolicy::kPoolThenRetired;
-    const Seconds makespan =
-        simulate_ensemble(cluster, schedule, ensemble).makespan;
+    return schedule;
+  };
+  // Thread-safe: hits the process-wide eval cache, simulates on a miss.
+  auto simulate = [&](const Sizes& sizes) -> Seconds {
+    return cached_makespan(cluster, schedule_for(sizes), ensemble);
+  };
+
+  // The search-local memo (not the global cache) drives the evaluation
+  // budget: a candidate costs budget the first time *this search* meets it,
+  // whether or not some earlier search already memoized it globally. That
+  // keeps trajectories and results bit-identical between cold- and
+  // warm-cache runs.
+  std::unordered_map<Sizes, Seconds, SizesHash> memo;
+  LocalSearchResult result;
+  auto evaluate = [&](const Sizes& sizes) -> Seconds {
+    const auto it = memo.find(sizes);
+    if (it != memo.end()) return it->second;
+    const Seconds makespan = simulate(sizes);
     ++result.evaluations;
     memo.emplace(sizes, makespan);
     return makespan;
@@ -124,6 +160,7 @@ LocalSearchResult local_search_grouping(const platform::Cluster& cluster,
   // Starting points: the knapsack solution with cardinality capped at every
   // k in [1, NS] (deduplicated — caps beyond the natural group count repeat).
   std::vector<Sizes> starts;
+  starts.reserve(static_cast<std::size_t>(ensemble.scenarios));
   for (Count k = 1; k <= ensemble.scenarios; ++k) {
     knapsack::Problem problem;
     for (ProcCount g = cluster.min_group(); g <= cluster.max_group(); ++g)
@@ -142,21 +179,54 @@ LocalSearchResult local_search_grouping(const platform::Cluster& cluster,
   starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
   OAGRID_REQUIRE(!starts.empty(), "no feasible grouping exists");
 
+  ThreadPool& pool = shared_pool();
+  std::vector<const Sizes*> examined;
+  std::vector<const Sizes*> to_eval;
+  std::vector<Seconds> fresh;
+
   Sizes global_best;
   Seconds global_makespan = kInfiniteTime;
   for (const Sizes& start : starts) {
     Sizes current = start;
     Seconds current_makespan = evaluate(current);
     for (int step = 0; step < options.max_accepted_moves; ++step) {
+      const std::vector<Sizes> candidates =
+          neighbors(current, cluster, ensemble.scenarios);
+
+      // Walk the (deterministically ordered) candidate list, charging the
+      // budget exactly as the serial scan would: a candidate already in the
+      // memo is free; a fresh one costs one evaluation; the walk stops the
+      // moment the budget would be exceeded — even for memoized candidates,
+      // matching the serial break-before-evaluate.
+      examined.clear();
+      to_eval.clear();
+      for (const Sizes& candidate : candidates) {
+        if (result.evaluations + to_eval.size() >= options.max_evaluations)
+          break;
+        examined.push_back(&candidate);
+        if (memo.find(candidate) == memo.end()) to_eval.push_back(&candidate);
+      }
+
+      // Fresh candidates are independent deterministic simulations, so they
+      // can run on any number of threads without affecting the values.
+      fresh.assign(to_eval.size(), 0.0);
+      pool.parallel_for(
+          0, to_eval.size(),
+          [&](std::size_t i) { fresh[i] = simulate(*to_eval[i]); },
+          options.threads);
+      for (std::size_t i = 0; i < to_eval.size(); ++i)
+        memo.emplace(*to_eval[i], fresh[i]);
+      result.evaluations += to_eval.size();
+
+      // Sequential first-min reduction in candidate order: the accepted move
+      // is bit-identical to the serial algorithm at any thread count.
       Sizes best_neighbor;
       Seconds best_makespan = current_makespan;
-      for (const Sizes& candidate :
-           neighbors(current, cluster, ensemble.scenarios)) {
-        if (result.evaluations >= options.max_evaluations) break;
-        const Seconds makespan = evaluate(candidate);
+      for (const Sizes* candidate : examined) {
+        const Seconds makespan = memo.find(*candidate)->second;
         if (makespan < best_makespan - 1e-9) {
           best_makespan = makespan;
-          best_neighbor = candidate;
+          best_neighbor = *candidate;
         }
       }
       if (best_neighbor.empty()) break;  // local optimum (or budget dry)
@@ -171,11 +241,7 @@ LocalSearchResult local_search_grouping(const platform::Cluster& cluster,
     if (result.evaluations >= options.max_evaluations) break;
   }
 
-  result.best.group_sizes = global_best;
-  result.best.post_pool =
-      cluster.resources() -
-      std::accumulate(global_best.begin(), global_best.end(), ProcCount{0});
-  result.best.post_policy = sched::PostPolicy::kPoolThenRetired;
+  result.best = schedule_for(global_best);
   result.makespan = global_makespan;
   return result;
 }

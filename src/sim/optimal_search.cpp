@@ -1,8 +1,10 @@
 #include "sim/optimal_search.hpp"
 
 #include <stdexcept>
+#include <utility>
 
-#include "sim/ensemble_sim.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/eval_cache.hpp"
 
 namespace oagrid::sim {
 namespace {
@@ -37,35 +39,57 @@ std::size_t count_grouping_candidates(const platform::Cluster& cluster,
 GroupingSearchResult optimal_grouping_search(const platform::Cluster& cluster,
                                              const appmodel::Ensemble& ensemble,
                                              sched::PostPolicy policy,
-                                             std::size_t max_candidates) {
+                                             std::size_t max_candidates,
+                                             std::size_t threads) {
   ensemble.validate();
-  const std::size_t candidates =
+  const std::size_t count =
       count_grouping_candidates(cluster, ensemble.scenarios);
-  if (candidates > max_candidates)
+  if (count > max_candidates)
     throw std::invalid_argument(
-        "oagrid: grouping search space has " + std::to_string(candidates) +
+        "oagrid: grouping search space has " + std::to_string(count) +
         " candidates, above the cap of " + std::to_string(max_candidates));
 
-  GroupingSearchResult result;
+  // Materialize the enumeration so candidates can be costed in parallel;
+  // enumeration order is the serial search's visiting order and drives the
+  // tie-break below.
+  std::vector<std::vector<ProcCount>> candidates;
+  candidates.reserve(count);
   std::vector<ProcCount> sizes;
   enumerate(cluster, cluster.max_group(), cluster.resources(),
-            ensemble.scenarios, sizes, [&](const std::vector<ProcCount>& gs) {
-              sched::GroupSchedule schedule;
-              schedule.group_sizes = gs;
-              schedule.post_policy = policy;
-              schedule.post_pool =
-                  policy == sched::PostPolicy::kPoolThenRetired
-                      ? cluster.resources() - schedule.main_resources()
-                      : 0;
-              const SimResult sim =
-                  simulate_ensemble(cluster, schedule, ensemble);
-              ++result.evaluated;
-              if (sim.makespan < result.makespan) {
-                result.makespan = sim.makespan;
-                result.best = std::move(schedule);
-              }
-            });
-  OAGRID_REQUIRE(result.evaluated > 0, "no feasible grouping exists");
+            ensemble.scenarios, sizes,
+            [&](const std::vector<ProcCount>& gs) { candidates.push_back(gs); });
+  OAGRID_REQUIRE(!candidates.empty(), "no feasible grouping exists");
+
+  auto schedule_for = [&](const std::vector<ProcCount>& gs) {
+    sched::GroupSchedule schedule;
+    schedule.group_sizes = gs;
+    schedule.post_policy = policy;
+    schedule.post_pool = policy == sched::PostPolicy::kPoolThenRetired
+                             ? cluster.resources() - schedule.main_resources()
+                             : 0;
+    return schedule;
+  };
+
+  // Independent deterministic simulations: safe at any thread count.
+  const std::vector<Seconds> makespans = parallel_transform(
+      shared_pool(), candidates.size(),
+      [&](std::size_t i) {
+        return cached_makespan(cluster, schedule_for(candidates[i]), ensemble);
+      },
+      threads);
+
+  // Sequential first-min in enumeration order — identical winner (including
+  // ties) to the serial scan.
+  GroupingSearchResult result;
+  result.evaluated = candidates.size();
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < makespans.size(); ++i) {
+    if (makespans[i] < result.makespan) {
+      result.makespan = makespans[i];
+      best_index = i;
+    }
+  }
+  result.best = schedule_for(candidates[best_index]);
   return result;
 }
 

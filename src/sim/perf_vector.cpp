@@ -1,6 +1,7 @@
 #include "sim/perf_vector.hpp"
 
-#include "sim/ensemble_sim.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/eval_cache.hpp"
 
 namespace oagrid::sim {
 
@@ -8,14 +9,17 @@ sched::PerformanceVector performance_vector(const platform::Cluster& cluster,
                                             Count max_scenarios, Count months,
                                             sched::Heuristic heuristic) {
   OAGRID_REQUIRE(max_scenarios >= 1, "need at least one scenario");
-  sched::PerformanceVector vec;
-  vec.reserve(static_cast<std::size_t>(max_scenarios));
-  for (Count k = 1; k <= max_scenarios; ++k) {
-    const appmodel::Ensemble ensemble{k, months};
-    vec.push_back(
-        simulate_with_heuristic(cluster, heuristic, ensemble).makespan);
-  }
-  return vec;
+  // The k entries are independent simulations over the same cluster — cached
+  // and evaluated in parallel. The service's DES estimator calls this per
+  // request, so a warm cache turns repeated estimates into pure lookups.
+  return parallel_transform(
+      shared_pool(), static_cast<std::size_t>(max_scenarios),
+      [&](std::size_t i) {
+        const appmodel::Ensemble ensemble{static_cast<Count>(i) + 1, months};
+        const sched::GroupSchedule schedule =
+            sched::make_schedule(heuristic, cluster, ensemble);
+        return cached_makespan(cluster, schedule, ensemble);
+      });
 }
 
 }  // namespace oagrid::sim

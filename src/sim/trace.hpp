@@ -33,6 +33,8 @@ struct TraceEntry {
 class Trace {
  public:
   void record(TraceEntry entry) { entries_.push_back(entry); }
+  /// Preallocates for `n` entries (the simulator knows the task count).
+  void reserve(std::size_t n) { entries_.reserve(n); }
   [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept {
     return entries_;
   }

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace oagrid {
@@ -52,6 +53,58 @@ TEST(ParallelFor, ManyMoreThreadsThanWork) {
   std::atomic<int> count{0};
   parallel_for(0, 3, [&](std::size_t) { count++; }, 64);
   EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelFor, ExceptionIsFirstComeWinsWhenSerial) {
+  // threads=1 runs in index order, so "first come" is exactly the lowest
+  // failing index — the strictest observable form of the first-come-wins
+  // propagation contract.
+  try {
+    parallel_for(
+        0, 100,
+        [](std::size_t i) {
+          if (i >= 30) throw std::runtime_error("idx" + std::to_string(i));
+        },
+        1);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "idx30");
+  }
+}
+
+TEST(ParallelFor, SingleThreadRunsAreDeterministic) {
+  std::vector<std::size_t> first;
+  std::vector<std::size_t> second;
+  parallel_for(0, 64, [&](std::size_t i) { first.push_back(i); }, 1);
+  parallel_for(0, 64, [&](std::size_t i) { second.push_back(i); }, 1);
+  EXPECT_EQ(first, second);
+}
+
+TEST(ParallelFor, NestedUseRunsInlineInOrder) {
+  // A body that itself calls parallel_for must get a serial, in-order inner
+  // loop on the calling thread (the nested-use guard) — never a second tier
+  // of threads.
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> inner_in_order{true};
+  parallel_for(0, 4, [&](std::size_t) {
+    std::vector<std::size_t> inner;  // unsynchronized: inline execution only
+    parallel_for(0, 5, [&](std::size_t i) { inner.push_back(i); });
+    inner_total += static_cast<int>(inner.size());
+    for (std::size_t i = 0; i < inner.size(); ++i)
+      if (inner[i] != i) inner_in_order = false;
+  });
+  EXPECT_EQ(inner_total.load(), 20);
+  EXPECT_TRUE(inner_in_order.load());
+}
+
+TEST(ParallelFor, NestedExceptionPropagatesThroughBothLevels) {
+  EXPECT_THROW(parallel_for(0, 4,
+                            [](std::size_t) {
+                              parallel_for(0, 4, [](std::size_t j) {
+                                if (j == 2) throw std::runtime_error("inner");
+                              });
+                            }),
+               std::runtime_error);
 }
 
 TEST(DefaultParallelism, AtLeastOne) {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -95,6 +96,78 @@ TEST(ThreadPool, DestructionWithIdleWorkersIsClean) {
     ThreadPool pool(4);
     pool.parallel_for(0, 4, [](std::size_t) {});
   }
+}
+
+TEST(ThreadPool, MaxThreadsOneIsSequentialInOrder) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> order;
+  pool.parallel_for(0, 10, [&](std::size_t i) { order.push_back(i); }, 1);
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, NestedRegionsRunInlineWithoutDeadlock) {
+  // Re-entering the pool from inside one of its own regions must not block
+  // on the region mutex: the nested-use guard runs the inner loop inline on
+  // the calling thread.
+  ThreadPool pool(3);
+  std::atomic<long long> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t j) {
+      total += static_cast<long long>(j);
+    });
+  });
+  EXPECT_EQ(total.load(), 8LL * 28);
+}
+
+TEST(ThreadPool, ConcurrentCallersBothComplete) {
+  // Two threads driving regions on the same pool: regions serialize on the
+  // region mutex and neither caller's iterations are lost or duplicated.
+  ThreadPool pool(2);
+  std::atomic<long long> a{0};
+  std::atomic<long long> b{0};
+  std::thread ta([&] {
+    for (int region = 0; region < 200; ++region)
+      pool.parallel_for(0, 32, [&](std::size_t i) {
+        a += static_cast<long long>(i);
+      });
+  });
+  std::thread tb([&] {
+    for (int region = 0; region < 200; ++region)
+      pool.parallel_for(0, 32, [&](std::size_t i) {
+        b += static_cast<long long>(i);
+      });
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.load(), 200LL * (31 * 32 / 2));
+  EXPECT_EQ(b.load(), 200LL * (31 * 32 / 2));
+}
+
+TEST(ThreadPool, ParallelTransformReturnsOrderedResults) {
+  ThreadPool pool(4);
+  const std::vector<std::size_t> squares =
+      parallel_transform(pool, 100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i)
+    EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ThreadPool, ParallelTransformEmptyAndExceptional) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(
+      parallel_transform(pool, 0, [](std::size_t i) { return i; }).empty());
+  EXPECT_THROW(parallel_transform(pool, 50,
+                                  [](std::size_t i) -> int {
+                                    if (i == 7) throw std::runtime_error("x");
+                                    return 0;
+                                  }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SharedPoolIsASingleton) {
+  EXPECT_EQ(&shared_pool(), &shared_pool());
 }
 
 // Shutdown stress: destroy the pool immediately after the last region

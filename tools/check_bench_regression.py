@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare a --bench-json run against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Both files follow the schema written by bench/bench_util.hpp's
+BenchJsonReporter:
+
+    {"schema": 1,
+     "benchmarks": [{"name": str, "iterations": int,
+                     "real_ns_per_op": float, "cpu_ns_per_op": float,
+                     "counters": {str: float, ...}}, ...]}
+
+The comparison uses cpu_ns_per_op (wall time is too noisy on shared CI
+runners). A benchmark REGRESSES when its current cpu time exceeds the
+baseline by more than --threshold percent (default 10). Benchmarks present
+only in the current run are reported as new and ignored; benchmarks present
+only in the baseline fail the check (a silently dropped benchmark would
+otherwise hide a regression forever).
+
+Exit status: 0 = within threshold, 1 = regression or dropped benchmark,
+2 = usage / malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if doc.get("schema") != 1:
+        sys.exit(f"error: {path}: unsupported schema {doc.get('schema')!r}")
+    records = {}
+    for rec in doc.get("benchmarks", []):
+        name = rec.get("name")
+        cpu = rec.get("cpu_ns_per_op")
+        if not isinstance(name, str) or not isinstance(cpu, (int, float)):
+            sys.exit(f"error: {path}: malformed record {rec!r}")
+        # Duplicate names (repetitions): keep the fastest run, which is the
+        # least noise-contaminated estimate of the benchmark's true cost.
+        if name not in records or cpu < records[name]:
+            records[name] = float(cpu)
+    if not records:
+        sys.exit(f"error: {path}: no benchmark records")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("current", help="freshly generated JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="max allowed cpu-time increase in percent (default: 10)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+
+    failures = []
+    width = max(len(name) for name in baseline)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in sorted(baseline):
+        base_ns = baseline[name]
+        if name not in current:
+            failures.append(f"{name}: present in baseline but not in current run")
+            print(f"{name:<{width}}  {base_ns:>10.1f}ns  {'MISSING':>12}  FAIL")
+            continue
+        cur_ns = current[name]
+        delta = 100.0 * (cur_ns - base_ns) / base_ns if base_ns > 0 else 0.0
+        verdict = "ok"
+        if delta > args.threshold:
+            verdict = "FAIL"
+            failures.append(
+                f"{name}: {base_ns:.1f}ns -> {cur_ns:.1f}ns "
+                f"(+{delta:.1f}% > {args.threshold:.1f}%)"
+            )
+        print(
+            f"{name:<{width}}  {base_ns:>10.1f}ns  {cur_ns:>10.1f}ns  "
+            f"{delta:+6.1f}% {verdict}"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}}  {'(new)':>12}  {current[name]:>10.1f}ns  new")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond {args.threshold:.1f}%:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall {len(baseline)} benchmarks within {args.threshold:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@
 /// multi-tenant campaign service with a crash-recoverable journal
 /// (--kill-after injects a crash, --resume recovers from it).
 
+#include <array>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -25,6 +26,7 @@
 #include "climate/calibration.hpp"
 #include "common/argparse.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "middleware/client.hpp"
 #include "middleware/local_agent.hpp"
 #include "middleware/master_agent.hpp"
@@ -34,6 +36,7 @@
 #include "sched/lower_bounds.hpp"
 #include "sched/makespan_model.hpp"
 #include "sim/ensemble_sim.hpp"
+#include "sim/eval_cache.hpp"
 #include "sim/exporters.hpp"
 #include "sim/fluid_grid.hpp"
 #include "service/service.hpp"
@@ -217,6 +220,10 @@ int cmd_simulate(const std::vector<std::string>& argv) {
                   "with N>1, run the campaign over N built-in clusters "
                   "through the middleware (client/agent/SeD)",
                   "1")
+      .add_option("threads",
+                  "worker cap for --optimize's parallel local search "
+                  "(0 = all)",
+                  "0")
       .add_flag("gantt", "print an ASCII Gantt chart")
       .add_flag("optimize", "refine the grouping with local search first");
   add_obs_options(args);
@@ -245,7 +252,9 @@ int cmd_simulate(const std::vector<std::string>& argv) {
   sched::GroupSchedule schedule = sched::make_schedule(
       heuristic_from(args.get("heuristic")), cluster, ensemble);
   if (args.flag("optimize")) {
-    const auto refined = sim::local_search_grouping(cluster, ensemble);
+    sim::LocalSearchOptions search;
+    search.threads = static_cast<std::size_t>(args.get_int("threads"));
+    const auto refined = sim::local_search_grouping(cluster, ensemble, search);
     std::cout << "local search: " << refined.evaluations << " simulations, "
               << refined.accepted_moves << " accepted moves\n";
     schedule = refined.best;
@@ -431,6 +440,8 @@ int cmd_sweep(const std::vector<std::string>& argv) {
       .add_option("scenarios", "independent scenarios (NS)", "10")
       .add_option("months", "months per scenario (NM)", "150")
       .add_option("profile", "built-in cluster profile 0-4", "1")
+      .add_option("threads", "worker cap for the parallel sweep (0 = all)",
+                  "0")
       .add_flag("csv", "emit CSV instead of an aligned table");
   add_obs_options(args);
   args.parse(argv);
@@ -438,23 +449,45 @@ int cmd_sweep(const std::vector<std::string>& argv) {
 
   const appmodel::Ensemble ensemble{args.get_int("scenarios"),
                                     args.get_int("months")};
-  TableWriter table({"R", "basic [s]", "gain1 %", "gain2 %", "gain3 %"});
+  std::vector<ProcCount> resource_grid;
   for (long long r = args.get_int("from"); r <= args.get_int("to");
-       r += args.get_int("step")) {
-    const auto cluster = platform::make_builtin_cluster(
-        static_cast<int>(args.get_int("profile")), static_cast<ProcCount>(r));
-    const Seconds basic =
-        sim::simulate_with_heuristic(cluster, sched::Heuristic::kBasic,
-                                     ensemble)
-            .makespan;
-    std::vector<std::string> row{std::to_string(r), fmt(basic, 0)};
-    for (const auto h :
-         {sched::Heuristic::kRedistribute, sched::Heuristic::kAllForMain,
-          sched::Heuristic::kKnapsack}) {
-      const Seconds ms =
-          sim::simulate_with_heuristic(cluster, h, ensemble).makespan;
-      row.push_back(fmt(100.0 * (basic - ms) / basic, 2));
-    }
+       r += args.get_int("step"))
+    resource_grid.push_back(static_cast<ProcCount>(r));
+  const int profile = static_cast<int>(args.get_int("profile"));
+
+  // One cell = four heuristics on one cluster size; cells are independent and
+  // every makespan flows through the eval cache, so a repeated sweep over an
+  // overlapping resource range is mostly cache hits. Row order (hence output)
+  // is independent of the thread count.
+  struct SweepCell {
+    Seconds basic = 0.0;
+    std::array<Seconds, 3> improved{};
+  };
+  const std::vector<SweepCell> cells = parallel_transform(
+      shared_pool(), resource_grid.size(),
+      [&](std::size_t i) {
+        const auto cluster =
+            platform::make_builtin_cluster(profile, resource_grid[i]);
+        auto eval = [&](sched::Heuristic h) {
+          return sim::cached_makespan(
+              cluster, sched::make_schedule(h, cluster, ensemble), ensemble);
+        };
+        SweepCell cell;
+        cell.basic = eval(sched::Heuristic::kBasic);
+        cell.improved = {eval(sched::Heuristic::kRedistribute),
+                         eval(sched::Heuristic::kAllForMain),
+                         eval(sched::Heuristic::kKnapsack)};
+        return cell;
+      },
+      static_cast<std::size_t>(args.get_int("threads")));
+
+  TableWriter table({"R", "basic [s]", "gain1 %", "gain2 %", "gain3 %"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    std::vector<std::string> row{std::to_string(resource_grid[i]),
+                                 fmt(cell.basic, 0)};
+    for (const Seconds ms : cell.improved)
+      row.push_back(fmt(100.0 * (cell.basic - ms) / cell.basic, 2));
     table.add_row(row);
   }
   if (args.flag("csv"))
