@@ -1,0 +1,92 @@
+/// \file migration_breakeven.cpp
+/// \brief Where does scenario migration stop paying for itself?
+///
+/// The paper forbids migration because shipping a scenario's restart file
+/// between sites was an unmodeled cost. With the net subsystem that cost is
+/// simulated, so the question becomes quantitative: sweep the inter-cluster
+/// bandwidth and watch the migrate-with-state policy fall back to static
+/// behavior as the same restart file gets slower and slower to move.
+///
+///   $ ./migration_breakeven [resources-per-cluster] [scenarios] [months]
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "net/network.hpp"
+#include "platform/profiles.hpp"
+#include "sim/fluid_grid.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oagrid;
+
+  const ProcCount resources = argc > 1 ? std::atoi(argv[1]) : 25;
+  const Count scenarios = argc > 2 ? std::atoll(argv[2]) : 10;
+  const Count months = argc > 3 ? std::atoll(argv[3]) : 120;
+
+  const platform::Grid grid = platform::make_builtin_grid(resources);
+  const appmodel::Ensemble ensemble{scenarios, months};
+  const int clusters = static_cast<int>(grid.cluster_count());
+
+  // A scenario dragging a ~1 GB state (restart + accumulated diagnostics)
+  // across a drifting grid; averaged over a few drift seeds.
+  const double state_mb = 1024.0;
+  const std::vector<double> bandwidths_mbps = {50.0, 5.0, 0.5, 0.05, 0.005};
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+
+  std::cout << "Grid: " << clusters << " clusters x " << resources
+            << " procs, " << scenarios << " scenarios x " << months
+            << " months, " << state_mb << " MB migrated per move\n\n";
+
+  double static_mean = 0.0;
+  for (const std::uint64_t seed : seeds) {
+    sim::DriftModel drift;
+    drift.sigma = 0.25;
+    drift.epoch_length = 4.0 * 3600.0;
+    drift.seed = seed;
+    static_mean += sim::simulate_dynamic_grid(grid, ensemble,
+                                              sim::GridPolicy::kStatic, drift)
+                       .makespan;
+  }
+  static_mean /= static_cast<double>(seeds.size());
+
+  TableWriter table({"inter bw [MB/s]", "ship 1 GB", "migrations/run",
+                     "makespan", "vs static"});
+  for (const double bw : bandwidths_mbps) {
+    const auto network = net::uniform_network(
+        clusters, net::LinkSpec{bw, 0.01},
+        net::LinkSpec{1000.0, 0.0001});
+    double makespan_mean = 0.0;
+    double migrations_mean = 0.0;
+    for (const std::uint64_t seed : seeds) {
+      sim::DriftModel drift;
+      drift.sigma = 0.25;
+      drift.epoch_length = 4.0 * 3600.0;
+      drift.seed = seed;
+      drift.network = network;
+      drift.migration_state_mb = state_mb;
+      const auto run = sim::simulate_dynamic_grid(
+          grid, ensemble, sim::GridPolicy::kMigrateWithState, drift);
+      makespan_mean += run.makespan;
+      migrations_mean += static_cast<double>(run.migrations);
+    }
+    makespan_mean /= static_cast<double>(seeds.size());
+    migrations_mean /= static_cast<double>(seeds.size());
+
+    const double gain = 100.0 * (static_mean - makespan_mean) / static_mean;
+    table.add_row({fmt(bw, 3),
+                   fmt_duration(network.transfer_time(0, 1, state_mb)),
+                   fmt(migrations_mean, 1), fmt_duration(makespan_mean),
+                   (gain >= 0 ? "+" : "") + fmt(gain, 2) + " %"});
+  }
+  std::cout << "Static placement (the paper's rule): "
+            << fmt_duration(static_mean) << " mean makespan\n\n";
+  table.print(std::cout);
+  std::cout
+      << "\nFat links migrate freely and beat the static placement; as the\n"
+         "same restart file crawls over ever-thinner links the scheduler\n"
+         "prices the move, migrates less, and converges back to the paper's\n"
+         "static behavior — the break-even is a bandwidth, not a policy.\n";
+  return 0;
+}

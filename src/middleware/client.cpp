@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "middleware/mailbox.hpp"
+#include "net/fairshare.hpp"
 #include "obs/obs.hpp"
 
 namespace oagrid::middleware {
@@ -107,6 +108,169 @@ CampaignResult Client::submit(const appmodel::Ensemble& ensemble,
             });
   OAGRID_INFO << "client: campaign finished, makespan " << result.makespan
               << " s";
+  return result;
+}
+
+Client::StagedCampaignResult Client::submit_staged(
+    const appmodel::Ensemble& ensemble, sched::Heuristic heuristic,
+    const StagingOptions& options) {
+  ensemble.validate();
+  OAGRID_REQUIRE(agent_.daemon_count() >= 1, "no server daemon deployed");
+  const auto n = static_cast<std::size_t>(agent_.daemon_count());
+  const sim::GridNetworkOptions& data = options.data;
+  if (data.active()) {
+    OAGRID_REQUIRE(data.network.cluster_count() == agent_.daemon_count(),
+                   "network model does not cover the deployed clusters");
+    OAGRID_REQUIRE(data.home >= 0 && data.home < agent_.daemon_count(),
+                   "home cluster outside the deployment");
+    OAGRID_REQUIRE(data.stage_mb_per_scenario >= 0.0 &&
+                       data.collect_mb_per_scenario >= 0.0,
+                   "transfer volumes must be >= 0");
+  }
+  OAGRID_REQUIRE(options.transfer_deadline > 0.0,
+                 "transfer deadline must be positive");
+  const int request_id = next_request_id_++;
+  if (obs::enabled()) obs::metrics().counter("middleware.campaigns").add();
+  obs::Span campaign_span(obs::enabled() ? &obs::trace_buffer() : nullptr,
+                          "staged campaign #" + std::to_string(request_id),
+                          "middleware");
+
+  StagedCampaignResult result;
+  result.staging_seconds.assign(n, 0.0);
+  result.collection_seconds.assign(n, 0.0);
+  CampaignResult& campaign = result.campaign;
+
+  // Steps (1)-(3): identical to submit().
+  Mailbox<SedResponse> reply;
+  instrument_reply(reply);
+  {
+    obs::ScopedTimer step_timer(step_histogram("step1_3"));
+    const int expected = agent_.broadcast_perf_request(
+        request_id, ensemble.scenarios, ensemble.months, heuristic, reply);
+    campaign.performance.resize(static_cast<std::size_t>(expected));
+    for (int received = 0; received < expected; ++received) {
+      std::optional<SedResponse> response = reply.receive();
+      if (!response)
+        throw std::runtime_error("oagrid: SeD channel closed during step 3");
+      const auto* perf = std::get_if<PerfResponse>(&*response);
+      if (perf == nullptr || perf->request_id != request_id)
+        throw std::runtime_error("oagrid: unexpected response during step 3");
+      campaign.performance[static_cast<std::size_t>(perf->cluster)] =
+          perf->performance;
+    }
+  }
+
+  // Step (4): Algorithm 1, each candidate charged the serialized cost of
+  // moving its files over the home links.
+  {
+    obs::ScopedTimer step_timer(step_histogram("step4"));
+    const auto charge = [&](std::size_t c, Count k) -> Seconds {
+      if (!data.active() || k <= 0) return 0.0;
+      const auto dst = static_cast<ClusterId>(c);
+      Seconds total = 0.0;
+      if (data.stage_mb_per_scenario > 0.0)
+        total += data.network.transfer_time(
+            data.home, dst,
+            static_cast<double>(k) * data.stage_mb_per_scenario);
+      if (data.collect_mb_per_scenario > 0.0)
+        total += data.network.transfer_time(
+            dst, data.home,
+            static_cast<double>(k) * data.collect_mb_per_scenario);
+      return total;
+    };
+    campaign.repartition = sched::greedy_repartition_charged(
+        campaign.performance, ensemble.scenarios, charge);
+  }
+
+  // Input staging: every scenario's restart/forcing files leave home at
+  // t = 0, fair-shared per link; a cluster may start only once its last
+  // input landed.
+  const auto count_misses = [&](const std::vector<net::TransferRequest>& reqs,
+                                const net::TransferPlan& plan) {
+    if (options.transfer_deadline == kInfiniteTime) return;
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+      if (plan.results[i].finish - reqs[i].start > options.transfer_deadline)
+        ++result.deadline_misses;
+  };
+  if (data.active() && data.stage_mb_per_scenario > 0.0) {
+    std::vector<net::TransferRequest> staging;
+    for (std::size_t c = 0; c < n; ++c)
+      for (Count s = 0; s < campaign.repartition.dags_per_cluster[c]; ++s)
+        staging.push_back({data.home, static_cast<ClusterId>(c),
+                           data.stage_mb_per_scenario, 0.0});
+    const net::TransferPlan plan =
+        net::simulate_transfers(data.network, staging);
+    result.transfer_mb += plan.total_mb;
+    for (std::size_t i = 0; i < staging.size(); ++i) {
+      const auto c = static_cast<std::size_t>(staging[i].dst);
+      result.staging_seconds[c] =
+          std::max(result.staging_seconds[c], plan.results[i].finish);
+    }
+    count_misses(staging, plan);
+  }
+
+  // Steps (5)-(6): identical to submit(), over the charged repartition.
+  obs::ScopedTimer step_timer(step_histogram("step5_6"));
+  int outstanding = 0;
+  for (ClusterId c = 0; c < agent_.daemon_count(); ++c) {
+    const Count share =
+        campaign.repartition.dags_per_cluster[static_cast<std::size_t>(c)];
+    if (share == 0) continue;
+    agent_.send_execute(c, request_id, share, ensemble.months, heuristic,
+                        reply);
+    ++outstanding;
+  }
+  for (int received = 0; received < outstanding; ++received) {
+    std::optional<SedResponse> response = reply.receive();
+    if (!response)
+      throw std::runtime_error("oagrid: SeD channel closed during step 6");
+    const auto* exec = std::get_if<ExecuteResponse>(&*response);
+    if (exec == nullptr || exec->request_id != request_id)
+      throw std::runtime_error("oagrid: unexpected response during step 6");
+    campaign.executions.push_back(*exec);
+    campaign.makespan = std::max(campaign.makespan, exec->makespan);
+  }
+  std::sort(campaign.executions.begin(), campaign.executions.end(),
+            [](const ExecuteResponse& a, const ExecuteResponse& b) {
+              return a.cluster < b.cluster;
+            });
+
+  // Result collection: each cluster ships its archives home the moment its
+  // (staging-delayed) compute drains.
+  if (data.active() && data.collect_mb_per_scenario > 0.0) {
+    std::vector<net::TransferRequest> collection;
+    for (const ExecuteResponse& exec : campaign.executions) {
+      const auto c = static_cast<std::size_t>(exec.cluster);
+      const Seconds done = result.staging_seconds[c] + exec.makespan;
+      for (Count s = 0; s < campaign.repartition.dags_per_cluster[c]; ++s)
+        collection.push_back({exec.cluster, data.home,
+                              data.collect_mb_per_scenario, done});
+    }
+    const net::TransferPlan plan =
+        net::simulate_transfers(data.network, collection);
+    result.transfer_mb += plan.total_mb;
+    for (std::size_t i = 0; i < collection.size(); ++i) {
+      const auto c = static_cast<std::size_t>(collection[i].src);
+      result.collection_seconds[c] =
+          std::max(result.collection_seconds[c],
+                   plan.results[i].finish - collection[i].start);
+    }
+    count_misses(collection, plan);
+  }
+
+  for (const ExecuteResponse& exec : campaign.executions) {
+    const auto c = static_cast<std::size_t>(exec.cluster);
+    result.makespan = std::max(result.makespan,
+                               result.staging_seconds[c] + exec.makespan +
+                                   result.collection_seconds[c]);
+  }
+  if (result.deadline_misses > 0)
+    OAGRID_WARN << "client: " << result.deadline_misses
+                << " transfer(s) exceeded the " << options.transfer_deadline
+                << " s deadline";
+  OAGRID_INFO << "client: staged campaign finished, makespan "
+              << result.makespan << " s (" << result.transfer_mb
+              << " MB moved)";
   return result;
 }
 

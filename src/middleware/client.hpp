@@ -8,6 +8,7 @@
 #include "appmodel/ensemble.hpp"
 #include "middleware/deployment.hpp"
 #include "sched/repartition.hpp"
+#include "sim/grid_sim.hpp"
 
 namespace oagrid::middleware {
 
@@ -43,6 +44,34 @@ class Client {
   [[nodiscard]] FaultTolerantResult submit_with_deadline(
       const appmodel::Ensemble& ensemble, sched::Heuristic heuristic,
       std::chrono::milliseconds step_timeout);
+
+  /// Data-staging campaign parameters: a network model plus per-transfer
+  /// deadline budget (simulated seconds; kInfiniteTime = no budget).
+  struct StagingOptions {
+    sim::GridNetworkOptions data;
+    Seconds transfer_deadline = kInfiniteTime;
+  };
+
+  /// Network-aware outcome: the protocol result plus the simulated data
+  /// movement around it.
+  struct StagedCampaignResult {
+    CampaignResult campaign;  ///< compute-only makespans, as reported by SeDs
+    std::vector<Seconds> staging_seconds;     ///< per cluster, before step 5
+    std::vector<Seconds> collection_seconds;  ///< per cluster, after step 6
+    Seconds makespan = 0.0;  ///< staging + compute + collection, max
+    double transfer_mb = 0.0;
+    int deadline_misses = 0;  ///< transfers over options.transfer_deadline
+  };
+
+  /// Steps 1-6 with data movement made explicit: step 4 runs the charged
+  /// Algorithm 1 (each candidate cluster pays its staging/collection over
+  /// `options.data.network`), inputs are staged before the execute
+  /// dispatch, and results ship home afterwards — all in simulated time via
+  /// the fair-share allocator. With no network attached (or a free one)
+  /// this degrades exactly to submit(): same repartition, same makespan.
+  [[nodiscard]] StagedCampaignResult submit_staged(
+      const appmodel::Ensemble& ensemble, sched::Heuristic heuristic,
+      const StagingOptions& options);
 
  private:
   Deployment& agent_;

@@ -1,0 +1,86 @@
+#include "net/network.hpp"
+
+namespace oagrid::net {
+
+NetworkModel::NetworkModel(int clusters) : clusters_(clusters) {
+  OAGRID_REQUIRE(clusters >= 1, "network needs at least one cluster");
+  inter_.assign(static_cast<std::size_t>(clusters) *
+                    static_cast<std::size_t>(clusters),
+                LinkSpec{});
+  intra_.assign(static_cast<std::size_t>(clusters), LinkSpec{});
+}
+
+void NetworkModel::require_cluster(ClusterId c) const {
+  OAGRID_REQUIRE(c >= 0 && c < clusters_, "cluster id outside the network");
+}
+
+void NetworkModel::set_default_inter(LinkSpec spec) {
+  OAGRID_REQUIRE(spec.bandwidth_mbps > 0.0, "bandwidth must be positive");
+  OAGRID_REQUIRE(spec.latency >= 0.0, "latency must be >= 0");
+  for (ClusterId a = 0; a < clusters_; ++a)
+    for (ClusterId b = 0; b < clusters_; ++b)
+      if (a != b) inter_[link_index(a, b)] = spec;
+}
+
+void NetworkModel::set_default_intra(LinkSpec spec) {
+  OAGRID_REQUIRE(spec.bandwidth_mbps > 0.0, "bandwidth must be positive");
+  OAGRID_REQUIRE(spec.latency >= 0.0, "latency must be >= 0");
+  for (LinkSpec& link : intra_) link = spec;
+}
+
+void NetworkModel::set_link(ClusterId a, ClusterId b, LinkSpec spec) {
+  require_cluster(a);
+  require_cluster(b);
+  OAGRID_REQUIRE(a != b, "use set_intra for a cluster's own fabric");
+  OAGRID_REQUIRE(spec.bandwidth_mbps > 0.0, "bandwidth must be positive");
+  OAGRID_REQUIRE(spec.latency >= 0.0, "latency must be >= 0");
+  inter_[link_index(a, b)] = spec;
+  inter_[link_index(b, a)] = spec;
+}
+
+void NetworkModel::set_intra(ClusterId c, LinkSpec spec) {
+  require_cluster(c);
+  OAGRID_REQUIRE(spec.bandwidth_mbps > 0.0, "bandwidth must be positive");
+  OAGRID_REQUIRE(spec.latency >= 0.0, "latency must be >= 0");
+  intra_[static_cast<std::size_t>(c)] = spec;
+}
+
+const LinkSpec& NetworkModel::link(ClusterId src, ClusterId dst) const {
+  require_cluster(src);
+  require_cluster(dst);
+  if (src == dst) return intra_[static_cast<std::size_t>(src)];
+  return inter_[link_index(src, dst)];
+}
+
+Seconds NetworkModel::transfer_time(ClusterId src, ClusterId dst,
+                                    double size_mb) const {
+  if (size_mb <= 0.0) return 0.0;
+  const LinkSpec& spec = link(src, dst);
+  // inf bandwidth -> size/bw == 0.0 exactly; free link -> exactly 0.0.
+  return spec.latency + size_mb / spec.bandwidth_mbps;
+}
+
+bool NetworkModel::is_free() const noexcept {
+  for (const LinkSpec& spec : intra_)
+    if (!spec.is_free()) return false;
+  for (ClusterId a = 0; a < clusters_; ++a)
+    for (ClusterId b = 0; b < clusters_; ++b)
+      if (a != b && !inter_[link_index(a, b)].is_free()) return false;
+  return true;
+}
+
+NetworkModel free_network(int clusters) { return NetworkModel(clusters); }
+
+NetworkModel uniform_network(int clusters, LinkSpec inter, LinkSpec intra) {
+  NetworkModel model(clusters);
+  model.set_default_inter(inter);
+  model.set_default_intra(intra);
+  return model;
+}
+
+NetworkModel renater_network(int clusters) {
+  return uniform_network(clusters, LinkSpec{125.0, 0.008},
+                         LinkSpec{1000.0, 0.0001});
+}
+
+}  // namespace oagrid::net

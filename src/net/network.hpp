@@ -1,0 +1,120 @@
+#pragma once
+/// \file network.hpp
+/// \brief Inter-cluster network model for the §5 heterogeneous grid.
+///
+/// The paper forbids scenario migration ("once a scenario has been scheduled
+/// on a cluster, it can not change location") because shipping the ~120 MB
+/// monthly restart file between Grid'5000 sites is an unmodeled cost. This
+/// module makes those links first-class simulated resources so the
+/// schedulers can *price* data movement instead of forbidding it:
+///
+///  * NetworkModel — a symmetric per-cluster-pair bandwidth/latency matrix
+///    plus one intra-cluster fabric spec per cluster. Every link defaults to
+///    the *free* link (infinite bandwidth, zero latency), under which every
+///    transfer takes exactly 0.0 s and all network-aware code paths
+///    reproduce the pre-net results bit for bit.
+///  * Built-in profiles matching the Grid'5000-era RENATER topology the
+///    paper ran on (renater_network) and uniform synthetic grids
+///    (uniform_network) for sweeps.
+///  * A text description format (net/parser.hpp) mirroring the platform
+///    grid-file format, so benchmarked link tables can be fed to the
+///    scheduler the same way benchmarked T[G] tables are.
+///
+/// Links are full duplex: the (a, b) spec describes each direction's
+/// capacity independently (staging home->c does not contend with collection
+/// c->home). Concurrent transfers *on the same directed link* share its
+/// bandwidth fairly — that allocator lives in net/fairshare.hpp.
+
+#include <limits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace oagrid::net {
+
+/// Bandwidth sentinel for an uncongested link.
+inline constexpr double kInfiniteBandwidth =
+    std::numeric_limits<double>::infinity();
+
+/// One directed channel: sustained bandwidth in MB/s plus a flat per-transfer
+/// latency (propagation + connection setup).
+struct LinkSpec {
+  double bandwidth_mbps = kInfiniteBandwidth;  ///< MB/s
+  Seconds latency = 0.0;                       ///< per transfer
+
+  /// True when a transfer over this link costs exactly 0.0 simulated seconds.
+  [[nodiscard]] bool is_free() const noexcept {
+    return bandwidth_mbps == kInfiniteBandwidth && latency == 0.0;
+  }
+
+  [[nodiscard]] friend bool operator==(const LinkSpec&,
+                                       const LinkSpec&) = default;
+};
+
+/// Per-cluster-pair link matrix + per-cluster intra fabric. Value type;
+/// cheap to copy for cluster counts in the paper's range (n <= dozens).
+class NetworkModel {
+ public:
+  NetworkModel() = default;
+
+  /// `clusters` nodes, every link free (the degenerate no-network model).
+  explicit NetworkModel(int clusters);
+
+  [[nodiscard]] int cluster_count() const noexcept { return clusters_; }
+
+  /// Sets every inter-cluster pair (both directions) to `spec`.
+  void set_default_inter(LinkSpec spec);
+  /// Sets every cluster's intra fabric to `spec`.
+  void set_default_intra(LinkSpec spec);
+  /// Sets the (a, b) pair symmetrically (a != b).
+  void set_link(ClusterId a, ClusterId b, LinkSpec spec);
+  /// Sets cluster c's intra fabric.
+  void set_intra(ClusterId c, LinkSpec spec);
+
+  /// The spec governing a transfer src -> dst (src == dst: intra fabric).
+  [[nodiscard]] const LinkSpec& link(ClusterId src, ClusterId dst) const;
+
+  /// Uncontended time to move `size_mb` MB src -> dst: latency + size/bw.
+  /// Exactly 0.0 for size <= 0 or over a free link.
+  [[nodiscard]] Seconds transfer_time(ClusterId src, ClusterId dst,
+                                      double size_mb) const;
+
+  /// True when every link (inter and intra) is free — all network-aware
+  /// results collapse bit-identically onto the pre-net ones.
+  [[nodiscard]] bool is_free() const noexcept;
+
+  /// Dense index of the directed link src -> dst (for allocator/metric
+  /// bookkeeping): src * cluster_count() + dst.
+  [[nodiscard]] std::size_t link_index(ClusterId src,
+                                       ClusterId dst) const noexcept {
+    return static_cast<std::size_t>(src) *
+               static_cast<std::size_t>(clusters_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  [[nodiscard]] friend bool operator==(const NetworkModel&,
+                                       const NetworkModel&) = default;
+
+ private:
+  void require_cluster(ClusterId c) const;
+
+  int clusters_ = 0;
+  std::vector<LinkSpec> inter_;  ///< n*n, symmetric, diagonal unused
+  std::vector<LinkSpec> intra_;  ///< n
+};
+
+/// All links free: the identity network (pre-net behavior, bit for bit).
+[[nodiscard]] NetworkModel free_network(int clusters);
+
+/// Uniform synthetic grid: every inter-cluster pair shares one spec, every
+/// intra fabric another.
+[[nodiscard]] NetworkModel uniform_network(int clusters, LinkSpec inter,
+                                           LinkSpec intra = LinkSpec{});
+
+/// Built-in profile matching the Grid'5000-era RENATER links the paper's
+/// experiments crossed: ~10 Gbit/s shared dark-fiber backbone between sites
+/// (effective per-flow ~125 MB/s, ~8 ms RTT-dominated setup) and a ~1 GB/s,
+/// ~0.1 ms intra-cluster fabric (GigE/Myrinet through shared storage).
+[[nodiscard]] NetworkModel renater_network(int clusters);
+
+}  // namespace oagrid::net

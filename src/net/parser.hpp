@@ -1,0 +1,37 @@
+#pragma once
+/// \file parser.hpp
+/// \brief Text description format for network models, mirroring the platform
+/// grid-file format so benchmarked link tables can be fed to the scheduler.
+///
+/// Format (line-oriented, '#' starts a comment):
+///
+///   network 5                   # cluster count, must come first
+///   inter_default 125 0.008     # bandwidth [MB/s], latency [s]: all pairs
+///   intra_default 1000 0.0001   # every cluster's internal fabric
+///   link 0 1 50 0.02            # one pair, symmetric (both directions)
+///   intra 2 500 0.001           # one cluster's fabric
+///
+/// Bandwidth accepts `inf` for an uncongested link. Directives after the
+/// `network` header may appear in any order; later directives override
+/// earlier ones (so defaults first, then per-link exceptions).
+
+#include <iosfwd>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace oagrid::net {
+
+/// Parses a network description. Throws std::invalid_argument with a
+/// line-numbered message on any malformed input.
+[[nodiscard]] NetworkModel parse_network(std::istream& in);
+
+/// Convenience overload over an in-memory string.
+[[nodiscard]] NetworkModel parse_network_string(const std::string& text);
+
+/// Serializes a model back to the same format (round-trips with
+/// parse_network): one `link` line per unordered pair, one `intra` line per
+/// cluster.
+void write_network(std::ostream& out, const NetworkModel& model);
+
+}  // namespace oagrid::net

@@ -11,9 +11,11 @@
 
 namespace oagrid::platform {
 
-/// Heterogeneous collection of clusters. Inter-cluster transfers are never
-/// needed by the paper's scheme (a scenario never migrates once placed), so
-/// the grid carries no network model beyond cluster membership.
+/// Heterogeneous collection of clusters. The grid itself carries only
+/// cluster membership; the links between clusters (staging, result
+/// collection, restart-file migration — all priced since the relaxation of
+/// the paper's no-migration rule) are modeled separately by
+/// net::NetworkModel, keyed by the same ClusterId order as this class.
 class Grid {
  public:
   Grid() = default;

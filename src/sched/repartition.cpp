@@ -58,6 +58,41 @@ Repartition greedy_repartition(std::span<const PerformanceVector> performance,
   return result;
 }
 
+Repartition greedy_repartition_charged(
+    std::span<const PerformanceVector> performance, Count scenarios,
+    const PlacementCharge& charge) {
+  if (!charge) return greedy_repartition(performance, scenarios);
+  validate_inputs(performance, scenarios);
+  const auto n = performance.size();
+  Repartition result;
+  result.dags_per_cluster.assign(n, 0);
+  result.assignment.reserve(static_cast<std::size_t>(scenarios));
+
+  for (Count dag = 0; dag < scenarios; ++dag) {
+    Seconds best = std::numeric_limits<Seconds>::infinity();
+    std::size_t best_cluster = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const auto next = static_cast<std::size_t>(result.dags_per_cluster[c]);
+      const Seconds candidate =
+          performance[c][next] + charge(c, static_cast<Count>(next) + 1);
+      if (candidate < best) {
+        best = candidate;
+        best_cluster = c;
+      }
+    }
+    ++result.dags_per_cluster[best_cluster];
+    result.assignment.push_back(static_cast<ClusterId>(best_cluster));
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const Count k = result.dags_per_cluster[c];
+    if (k > 0)
+      result.makespan = std::max(
+          result.makespan,
+          performance[c][static_cast<std::size_t>(k) - 1] + charge(c, k));
+  }
+  return result;
+}
+
 namespace {
 
 void enumerate(std::span<const PerformanceVector> performance,

@@ -8,6 +8,7 @@
 /// grouping heuristic is in force — step 2 of the Figure 9 protocol). The
 /// algorithm itself is pure; computing the vectors lives in sim::.
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -42,6 +43,22 @@ struct Repartition {
 /// have at least `scenarios` entries.
 [[nodiscard]] Repartition greedy_repartition(
     std::span<const PerformanceVector> performance, Count scenarios);
+
+/// Extra completion time charged to a cluster for hosting k scenarios —
+/// typically the cost of shipping k restart/input files to it and k result
+/// archives back (priced by net::NetworkModel at the call site; this module
+/// stays network-agnostic). Must be monotone in k for the greedy argument
+/// to keep its local-optimality flavor.
+using PlacementCharge = std::function<Seconds(std::size_t cluster, Count k)>;
+
+/// Algorithm 1 with data movement folded into each candidate: scenario after
+/// scenario goes to the cluster minimizing performance[c][k] + charge(c, k+1).
+/// A null charge — or one that returns exactly 0.0 everywhere — reproduces
+/// greedy_repartition bit for bit, ties included (0.0 + x == x in IEEE
+/// arithmetic). The returned makespan includes the charges.
+[[nodiscard]] Repartition greedy_repartition_charged(
+    std::span<const PerformanceVector> performance, Count scenarios,
+    const PlacementCharge& charge);
 
 /// Exhaustive optimum over all compositions of `scenarios` into
 /// performance.size() parts. Exponential in cluster count — test/bench

@@ -83,6 +83,8 @@ class EnsembleSimulation {
         options_(options),
         rng_(options.perturbation.seed) {
     OAGRID_REQUIRE(!months_limit_.empty(), "need at least one scenario");
+    OAGRID_REQUIRE(options.restart_handoff >= 0.0,
+                   "restart hand-off must be >= 0");
     total_months_ = 0;
     for (const MonthIndex m : months_limit_) {
       OAGRID_REQUIRE(m >= 1, "each scenario needs at least one month");
@@ -267,7 +269,10 @@ class EnsembleSimulation {
     ++months_dispatched_total_;
     scenario.running = true;
     group.busy = true;
-    const Seconds duration = jittered(group.main_time);
+    // Months after the first stall on the restart hand-off before compute
+    // starts; the group is occupied (busy, not retirable) while it waits.
+    const Seconds duration = jittered(group.main_time) +
+                             (month > 0 ? options_.restart_handoff : 0.0);
     const bool fails =
         options_.perturbation.failure_probability > 0.0 &&
         rng_.uniform() < options_.perturbation.failure_probability;

@@ -59,6 +59,14 @@ struct SimOptions {
   DispatchRule dispatch = DispatchRule::kLeastAdvanced;
   PerturbationModel perturbation;  ///< inactive by default (exact durations)
 
+  /// Inter-month restart hand-off: simulated seconds a group stalls before
+  /// each main task of month > 0, fetching the previous month's ~120 MB
+  /// restart file ("data exchanges between two consecutive monthly
+  /// simulations", §2). Price it with net::NetworkModel::transfer_time over
+  /// the cluster's fabric. The default 0.0 reproduces the paper's free-data
+  /// world bit for bit (the stall is added, and x + 0.0 == x).
+  Seconds restart_handoff = 0.0;
+
   /// Progress streaming: when > 0, `on_progress(months_done, simulated_now)`
   /// fires every `progress_every` completed main tasks (the hook a real
   /// multi-week execution would use to report upstream; the middleware's

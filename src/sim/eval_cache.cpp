@@ -70,6 +70,7 @@ std::size_t EvalKeyHash::operator()(const EvalKey& key) const noexcept {
   h.i64(key.post_pool);
   h.u64(static_cast<std::uint64_t>(key.post_policy) |
         (static_cast<std::uint64_t>(key.dispatch) << 8));
+  h.f64(key.restart_handoff);
   h.f64(key.duration_jitter);
   h.f64(key.failure_probability);
   h.u64(key.seed);
@@ -97,6 +98,7 @@ EvalKey make_eval_key(const platform::Cluster& cluster,
   key.post_pool = schedule.post_pool;
   key.post_policy = static_cast<std::uint8_t>(schedule.post_policy);
   key.dispatch = static_cast<std::uint8_t>(options.dispatch);
+  key.restart_handoff = options.restart_handoff;
   if (options.perturbation.active()) {
     key.duration_jitter = options.perturbation.duration_jitter;
     key.failure_probability = options.perturbation.failure_probability;

@@ -15,7 +15,8 @@
 ///  * Keys are by value (EvalKey): a 64-bit content signature of the cluster
 ///    (name excluded — only the numbers that influence the simulation), the
 ///    canonicalized partition, the per-scenario month counts, the post
-///    policy/pool, dispatch rule, and the perturbation model (seed normalized
+///    policy/pool, dispatch rule, restart hand-off, and the perturbation
+///    model (seed normalized
 ///    to zero when the model is inactive, so "no perturbation, seed 1" and
 ///    "no perturbation, seed 7" share an entry). Cluster identity is the
 ///    signature, not the object address, so temporaries from
@@ -59,6 +60,7 @@ struct EvalKey {
   ProcCount post_pool = 0;
   std::uint8_t post_policy = 0;
   std::uint8_t dispatch = 0;
+  Seconds restart_handoff = 0.0;  ///< inter-month data stall (net-aware runs)
   double duration_jitter = 0.0;
   double failure_probability = 0.0;
   std::uint64_t seed = 0;  ///< 0 whenever the perturbation model is inactive

@@ -150,11 +150,12 @@ double migration_penalty_months(const FluidCluster& dst, double speed,
 /// while that strictly improves the projected makespan. `with_state` selects
 /// between the unstarted-only relaxation (free moves, but only fresh
 /// scenarios qualify) and restart-file migration (any scenario moves, its
-/// remaining work inflated by the transfer stall — priced identically in the
-/// decision and in the executed fluid).
+/// remaining work inflated by the transfer stall — priced per cluster pair
+/// by DriftModel::migration_cost, identically in the decision and in the
+/// executed fluid).
 int rebalance(std::vector<FluidCluster>& clusters,
               const std::vector<double>& speeds, bool with_state,
-              Seconds migration_cost) {
+              const DriftModel& drift, Seconds& migration_seconds) {
   int migrations = 0;
   for (;;) {
     std::size_t worst = 0;
@@ -170,24 +171,29 @@ int rebalance(std::vector<FluidCluster>& clusters,
     if (!with_state && !clusters[worst].has_unstarted()) return migrations;
     if (with_state && clusters[worst].resident() < 1) return migrations;
 
-    // Candidate move, evaluated against every destination. Hysteresis: the
-    // drain projection ignores the throughput tail (fewer resident scenarios
-    // near the end run slower), so marginal projected wins are noise — only
-    // accept moves that project a clear improvement.
-    const double margin =
-        std::max(0.01 * worst_drain, with_state ? migration_cost : 0.0);
     std::size_t best_dst = worst;
-    double best_new_makespan = worst_drain - margin;
+    double best_new_makespan = worst_drain;
     double best_landed_months = 0.0;
+    Seconds best_cost = 0.0;
     for (std::size_t c = 0; c < clusters.size(); ++c) {
       if (c == worst) continue;
+      const Seconds cost =
+          with_state ? drift.migration_cost(static_cast<ClusterId>(worst),
+                                            static_cast<ClusterId>(c))
+                     : 0.0;
+      // Hysteresis: the drain projection ignores the throughput tail (fewer
+      // resident scenarios near the end run slower), so marginal projected
+      // wins are noise — only accept moves that project a clear improvement
+      // (and at least the transfer stall itself for a priced move).
+      const double threshold =
+          worst_drain - std::max(0.01 * worst_drain, cost);
       FluidCluster src = clusters[worst];
       FluidCluster dst = clusters[c];
       double landed = 0.0;
       if (with_state) {
         const double moved = src.remove_least_advanced();
-        landed = moved + migration_penalty_months(clusters[c], speeds[c],
-                                                  migration_cost);
+        landed = moved +
+                 migration_penalty_months(clusters[c], speeds[c], cost);
         dst.assign_months(landed);
       } else {
         src.remove_unstarted();
@@ -198,10 +204,12 @@ int rebalance(std::vector<FluidCluster>& clusters,
         const FluidCluster& cl = k == worst ? src : (k == c ? dst : clusters[k]);
         new_makespan = std::max(new_makespan, cl.projected_drain(speeds[k]));
       }
-      if (new_makespan < best_new_makespan - 1e-9) {
+      if (new_makespan < threshold - 1e-9 &&
+          new_makespan < best_new_makespan - 1e-9) {
         best_new_makespan = new_makespan;
         best_dst = c;
         best_landed_months = landed;
+        best_cost = cost;
       }
     }
     if (best_dst == worst) return migrations;  // no improving move
@@ -213,6 +221,7 @@ int rebalance(std::vector<FluidCluster>& clusters,
       clusters[worst].remove_unstarted();
       clusters[best_dst].assign(0);
     }
+    migration_seconds += best_cost;
     ++migrations;
   }
 }
@@ -227,6 +236,12 @@ DynamicGridResult simulate_dynamic_grid(const platform::Grid& grid,
   OAGRID_REQUIRE(grid.cluster_count() >= 1, "grid needs at least one cluster");
   OAGRID_REQUIRE(drift.epoch_length > 0.0, "epoch length must be positive");
   OAGRID_REQUIRE(drift.sigma >= 0.0, "drift sigma must be >= 0");
+  OAGRID_REQUIRE(drift.migration_state_mb >= 0.0 &&
+                     drift.migration_deploy_seconds >= 0.0,
+                 "migration pricing parameters must be >= 0");
+  if (drift.network.cluster_count() > 0)
+    OAGRID_REQUIRE(drift.network.cluster_count() == grid.cluster_count(),
+                   "network model does not cover the grid's clusters");
 
   // Initial placement: Algorithm 1 on analytic vectors at nominal speed.
   std::vector<sched::PerformanceVector> perf;
@@ -265,7 +280,7 @@ DynamicGridResult simulate_dynamic_grid(const platform::Grid& grid,
     if (policy != GridPolicy::kStatic)
       result.migrations +=
           rebalance(clusters, speeds, policy == GridPolicy::kMigrateWithState,
-                    drift.migration_cost_seconds);
+                    drift, result.migration_seconds);
 
     for (std::size_t c = 0; c < clusters.size(); ++c) {
       if (clusters[c].idle()) continue;

@@ -24,15 +24,17 @@
 ///    scenario starts within the first set, so this only corrects the
 ///    initial placement against the first epoch's speeds;
 ///  * kMigrateWithState — any scenario may migrate, paying
-///    DriftModel::migration_cost_seconds (shipping the 120 MB restart file
-///    plus redeployment — the state of a scenario between months is exactly
-///    one restart file, which is what makes this relaxation implementable
-///    in the real application).
+///    DriftModel::migration_cost (shipping the ~120 MB restart file plus
+///    redeployment — the state of a scenario between months is exactly one
+///    restart file, which is what makes this relaxation implementable in
+///    the real application). The cost is priced per cluster pair from the
+///    attached net::NetworkModel, or by an explicit scalar override.
 
 #include <cstdint>
 #include <vector>
 
 #include "appmodel/ensemble.hpp"
+#include "net/network.hpp"
 #include "platform/grid.hpp"
 
 namespace oagrid::sim {
@@ -85,19 +87,44 @@ enum class GridPolicy {
 /// Random-walk speed drift: every epoch each cluster's speed is multiplied
 /// by exp(N(0, sigma)), clamped to [0.3, 3.0]. sigma = 0 reproduces the
 /// static deterministic world.
+/// Flat per-migration stall assumed before the network model existed
+/// (~120 MB over a congested WAN plus redeployment).
+inline constexpr Seconds kLegacyMigrationCost = 300.0;
+
 struct DriftModel {
   Seconds epoch_length = 6.0 * 3600.0;  ///< re-evaluation period
   double sigma = 0.0;                   ///< per-epoch log drift
   std::uint64_t seed = 1;
-  /// kMigrateWithState: seconds lost per migration (restart transfer +
-  /// redeployment). Charged as equivalent lost work on the destination.
-  Seconds migration_cost_seconds = 300.0;
+
+  /// kMigrateWithState: seconds lost per migration, charged as equivalent
+  /// lost work on the destination. >= 0 is an explicit flat override;
+  /// the default -1 derives the cost per cluster pair from `network` (or
+  /// falls back to kLegacyMigrationCost when no network is attached).
+  Seconds migration_cost_override = -1.0;
+
+  /// Link table pricing migrations per cluster pair. Default-constructed
+  /// (0 clusters) = none attached.
+  net::NetworkModel network;
+  /// State shipped per migration: the inter-month restart file. Workloads
+  /// that drag accumulated diagnostics along should raise this.
+  double migration_state_mb = appmodel::kInterMonthDataMb;
+  /// Fixed redeployment overhead on top of the transfer itself.
+  Seconds migration_deploy_seconds = 0.0;
+
+  /// Seconds one migration src -> dst stalls the moved scenario.
+  [[nodiscard]] Seconds migration_cost(ClusterId src, ClusterId dst) const {
+    if (migration_cost_override >= 0.0) return migration_cost_override;
+    if (network.cluster_count() == 0) return kLegacyMigrationCost;
+    return migration_deploy_seconds +
+           network.transfer_time(src, dst, migration_state_mb);
+  }
 };
 
 struct DynamicGridResult {
   Seconds makespan = 0.0;
   int migrations = 0;
   int epochs = 0;
+  Seconds migration_seconds = 0.0;  ///< total stall charged to migrations
   std::vector<Seconds> cluster_finish;  ///< drain time per cluster
 };
 

@@ -1,16 +1,57 @@
 #include "sim/grid_sim.hpp"
 
+#include <algorithm>
+
 #include "common/parallel.hpp"
+#include "net/fairshare.hpp"
 #include "obs/obs.hpp"
 #include "sim/perf_vector.hpp"
 
 namespace oagrid::sim {
+namespace {
+
+/// Fair-shared finish of `k` simultaneous `size_mb` transfers src -> dst
+/// starting at t = 0: under equal sharing of one directed link they all
+/// drain together at latency + k * size / bw. Exactly 0.0 over a free link.
+Seconds batch_transfer_time(const net::NetworkModel& network, ClusterId src,
+                            ClusterId dst, Count k, double size_mb) {
+  if (k <= 0 || size_mb <= 0.0) return 0.0;
+  return network.transfer_time(src, dst, static_cast<double>(k) * size_mb);
+}
+
+}  // namespace
+
+GridNetworkOptions campaign_network_options(
+    net::NetworkModel network, const appmodel::Ensemble& ensemble,
+    const appmodel::VolumeParams& volumes, ClusterId home) {
+  ensemble.validate();
+  GridNetworkOptions options;
+  options.network = std::move(network);
+  options.home = home;
+  options.stage_mb_per_scenario = volumes.restart_mb;
+  options.collect_mb_per_scenario =
+      static_cast<double>(ensemble.months) * volumes.raw_diag_mb /
+          volumes.compression_ratio +
+      volumes.restart_mb;
+  return options;
+}
 
 GridSimResult simulate_grid(const platform::Grid& grid,
                             const appmodel::Ensemble& ensemble,
-                            sched::Heuristic heuristic, std::size_t threads) {
+                            sched::Heuristic heuristic, std::size_t threads,
+                            const GridNetworkOptions& net_options) {
   ensemble.validate();
   OAGRID_REQUIRE(grid.cluster_count() >= 1, "grid needs at least one cluster");
+  if (net_options.active()) {
+    OAGRID_REQUIRE(net_options.network.cluster_count() == grid.cluster_count(),
+                   "network model does not cover the grid's clusters");
+    OAGRID_REQUIRE(
+        net_options.home >= 0 && net_options.home < grid.cluster_count(),
+        "home cluster outside the grid");
+    OAGRID_REQUIRE(net_options.stage_mb_per_scenario >= 0.0 &&
+                       net_options.collect_mb_per_scenario >= 0.0,
+                   "transfer volumes must be >= 0");
+  }
 
   const bool observed = obs::enabled();
   obs::Histogram* const perf_us =
@@ -34,18 +75,90 @@ GridSimResult simulate_grid(const platform::Grid& grid,
   if (observed)
     obs::metrics().counter("sim.grid_campaigns").add();
 
-  result.repartition =
-      sched::greedy_repartition(result.performance, ensemble.scenarios);
+  const std::size_t n = static_cast<std::size_t>(grid.cluster_count());
+  result.staging_seconds.assign(n, 0.0);
+  result.collection_seconds.assign(n, 0.0);
 
-  result.cluster_makespans.assign(
-      static_cast<std::size_t>(grid.cluster_count()), 0.0);
-  for (std::size_t c = 0; c < result.performance.size(); ++c) {
+  if (!net_options.active()) {
+    result.repartition =
+        sched::greedy_repartition(result.performance, ensemble.scenarios);
+  } else {
+    // Algorithm 1, with each candidate cluster charged the serialized cost
+    // of moving its k scenarios' files over the home link.
+    const auto charge = [&](std::size_t c, Count k) -> Seconds {
+      const auto dst = static_cast<ClusterId>(c);
+      return batch_transfer_time(net_options.network, net_options.home, dst, k,
+                                 net_options.stage_mb_per_scenario) +
+             batch_transfer_time(net_options.network, dst, net_options.home, k,
+                                 net_options.collect_mb_per_scenario);
+    };
+    result.repartition = sched::greedy_repartition_charged(
+        result.performance, ensemble.scenarios, charge);
+  }
+
+  if (net_options.active()) {
+    // Execute the movement the decision priced: all staging transfers enter
+    // the network at t = 0 (fair-shared per home link), and each cluster's
+    // results ship home the moment its compute drains.
+    std::vector<net::TransferRequest> staging;
+    std::vector<net::TransferRequest> collection;
+    for (std::size_t c = 0; c < n; ++c) {
+      const Count k = result.repartition.dags_per_cluster[c];
+      if (k <= 0) continue;
+      const auto dst = static_cast<ClusterId>(c);
+      const Seconds compute =
+          result.performance[c][static_cast<std::size_t>(k) - 1];
+      const Seconds staged = batch_transfer_time(
+          net_options.network, net_options.home, dst, k,
+          net_options.stage_mb_per_scenario);
+      for (Count s = 0; s < k; ++s) {
+        if (net_options.stage_mb_per_scenario > 0.0)
+          staging.push_back({net_options.home, dst,
+                             net_options.stage_mb_per_scenario, 0.0});
+        if (net_options.collect_mb_per_scenario > 0.0)
+          collection.push_back({dst, net_options.home,
+                                net_options.collect_mb_per_scenario,
+                                staged + compute});
+      }
+    }
+    const net::TransferPlan staged_plan =
+        net::simulate_transfers(net_options.network, staging);
+    const net::TransferPlan collected_plan =
+        net::simulate_transfers(net_options.network, collection);
+    result.transfer_mb = staged_plan.total_mb + collected_plan.total_mb;
+    // Per-cluster staging delay / collection tail off the simulated plans.
+    std::size_t si = 0, ci = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const Count k = result.repartition.dags_per_cluster[c];
+      if (k <= 0) continue;
+      const Seconds compute =
+          result.performance[c][static_cast<std::size_t>(k) - 1];
+      for (Count s = 0; s < k; ++s) {
+        if (net_options.stage_mb_per_scenario > 0.0)
+          result.staging_seconds[c] = std::max(
+              result.staging_seconds[c], staged_plan.results[si++].finish);
+        if (net_options.collect_mb_per_scenario > 0.0)
+          result.collection_seconds[c] =
+              std::max(result.collection_seconds[c],
+                       collected_plan.results[ci++].finish -
+                           (result.staging_seconds[c] + compute));
+      }
+      result.collection_seconds[c] = std::max(result.collection_seconds[c], 0.0);
+    }
+  }
+
+  result.cluster_makespans.assign(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
     const Count k = result.repartition.dags_per_cluster[c];
     if (k > 0)
       result.cluster_makespans[c] =
-          result.performance[c][static_cast<std::size_t>(k) - 1];
+          result.staging_seconds[c] +
+          result.performance[c][static_cast<std::size_t>(k) - 1] +
+          result.collection_seconds[c];
   }
-  result.makespan = result.repartition.makespan;
+  result.makespan = 0.0;
+  for (const Seconds m : result.cluster_makespans)
+    result.makespan = std::max(result.makespan, m);
   return result;
 }
 

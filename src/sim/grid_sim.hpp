@@ -1,29 +1,72 @@
 #pragma once
 /// \file grid_sim.hpp
 /// \brief Whole-grid execution: performance vectors, Algorithm-1
-/// repartition, per-cluster simulation (§5-6 of the paper).
+/// repartition, per-cluster simulation (§5-6 of the paper), optionally
+/// priced over a network model (deployment staging in, result shipping out).
 
 #include "appmodel/ensemble.hpp"
+#include "appmodel/volumes.hpp"
+#include "net/network.hpp"
 #include "platform/grid.hpp"
 #include "sched/heuristics.hpp"
 #include "sched/repartition.hpp"
 
 namespace oagrid::sim {
 
+/// Data-movement model for a grid campaign. The default (no network, zero
+/// volumes) is the paper's §5 world where transfers are free: every result
+/// is then bit-identical to the network-unaware path.
+struct GridNetworkOptions {
+  /// Link table covering the grid's clusters (cluster_count must match the
+  /// grid when non-zero). Default-constructed (0 clusters) = no network.
+  net::NetworkModel network;
+  /// Cluster holding the campaign inputs and archive (the paper's "home"
+  /// site that owns the restart files and collects diagnostics).
+  ClusterId home = 0;
+  /// MB staged home -> cluster per scenario before it can start (initial
+  /// restart + forcing files).
+  double stage_mb_per_scenario = 0.0;
+  /// MB shipped cluster -> home per scenario after it finishes (compressed
+  /// diagnostics + final restart).
+  double collect_mb_per_scenario = 0.0;
+
+  /// True when a network model is attached (even a free one: transfers are
+  /// then simulated — and metered — but cost exactly 0.0 s).
+  [[nodiscard]] bool active() const noexcept {
+    return network.cluster_count() > 0;
+  }
+};
+
+/// Campaign-realistic volumes from the appmodel accounting: one restart
+/// file staged in per scenario; NM months of compressed diagnostics plus
+/// the final restart collected out.
+[[nodiscard]] GridNetworkOptions campaign_network_options(
+    net::NetworkModel network, const appmodel::Ensemble& ensemble,
+    const appmodel::VolumeParams& volumes = {}, ClusterId home = 0);
+
 struct GridSimResult {
   std::vector<sched::PerformanceVector> performance;  ///< one per cluster
   sched::Repartition repartition;
   std::vector<Seconds> cluster_makespans;  ///< 0 for clusters given no work
   Seconds makespan = 0.0;
+
+  /// Data movement (all 0 without a network — and over a free network the
+  /// durations are exactly 0.0, so `makespan` matches the netless run bit
+  /// for bit).
+  std::vector<Seconds> staging_seconds;     ///< per cluster, fair-shared
+  std::vector<Seconds> collection_seconds;  ///< per cluster, fair-shared
+  double transfer_mb = 0.0;                 ///< total bytes moved
 };
 
 /// Full §5 flow in-process: (2) each cluster computes its performance vector
-/// under `heuristic`, (4) Algorithm 1 distributes the scenarios, (6) each
-/// cluster's makespan is read off its vector; the grid makespan is the max.
-/// Set `threads` > 1 to compute the per-cluster vectors concurrently.
-[[nodiscard]] GridSimResult simulate_grid(const platform::Grid& grid,
-                                          const appmodel::Ensemble& ensemble,
-                                          sched::Heuristic heuristic,
-                                          std::size_t threads = 1);
+/// under `heuristic`, (4) Algorithm 1 distributes the scenarios — charging
+/// each candidate cluster the serialized cost of staging/collecting its
+/// files when a network is attached, (6) each cluster's makespan is its
+/// staging delay + vector entry + collection time; the grid makespan is the
+/// max. Set `threads` > 1 to compute the per-cluster vectors concurrently.
+[[nodiscard]] GridSimResult simulate_grid(
+    const platform::Grid& grid, const appmodel::Ensemble& ensemble,
+    sched::Heuristic heuristic, std::size_t threads = 1,
+    const GridNetworkOptions& net_options = {});
 
 }  // namespace oagrid::sim

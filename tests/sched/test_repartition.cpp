@@ -148,6 +148,64 @@ TEST(Repartition, GreedyCanMissOptimumOnNonMonotoneVectors) {
   EXPECT_LT(best.makespan, greedy.makespan);
 }
 
+TEST(ChargedRepartition, NullChargeIsBitIdentical) {
+  const auto perf = linear_perf({10.0, 13.0, 17.0}, 7);
+  const Repartition plain = greedy_repartition(perf, 7);
+  const Repartition charged = greedy_repartition_charged(perf, 7, nullptr);
+  EXPECT_EQ(charged.dags_per_cluster, plain.dags_per_cluster);
+  EXPECT_EQ(charged.assignment, plain.assignment);
+  EXPECT_EQ(charged.makespan, plain.makespan);  // exact, not NEAR
+}
+
+TEST(ChargedRepartition, ZeroChargeIsBitIdentical) {
+  // 0.0 + x == x in IEEE arithmetic, so even tie-breaks are preserved.
+  const auto perf = linear_perf({10.0, 10.0, 25.0}, 6);
+  const Repartition plain = greedy_repartition(perf, 6);
+  const Repartition charged = greedy_repartition_charged(
+      perf, 6, [](std::size_t, Count) { return 0.0; });
+  EXPECT_EQ(charged.dags_per_cluster, plain.dags_per_cluster);
+  EXPECT_EQ(charged.assignment, plain.assignment);
+  EXPECT_EQ(charged.makespan, plain.makespan);
+}
+
+TEST(ChargedRepartition, ChargeSteersPlacementAwayFromExpensiveCluster) {
+  // Two equal clusters; without charges the scenarios split evenly. Make
+  // placing anything on cluster 1 cost more than the whole campaign and the
+  // greedy keeps everything at cluster 0.
+  const auto perf = linear_perf({10.0, 10.0}, 4);
+  const Repartition plain = greedy_repartition(perf, 4);
+  EXPECT_EQ(plain.dags_per_cluster, (std::vector<Count>{2, 2}));
+
+  const Repartition charged = greedy_repartition_charged(
+      perf, 4, [](std::size_t cluster, Count k) {
+        return cluster == 1 ? 1000.0 * static_cast<double>(k) : 0.0;
+      });
+  EXPECT_EQ(charged.dags_per_cluster, (std::vector<Count>{4, 0}));
+  EXPECT_DOUBLE_EQ(charged.makespan, 40.0);
+}
+
+TEST(ChargedRepartition, MakespanIncludesTheCharge) {
+  const auto perf = linear_perf({10.0}, 3);
+  const Repartition charged = greedy_repartition_charged(
+      perf, 3, [](std::size_t, Count k) { return 5.0 * static_cast<double>(k); });
+  EXPECT_EQ(charged.dags_per_cluster, std::vector<Count>{3});
+  EXPECT_DOUBLE_EQ(charged.makespan, 30.0 + 15.0);
+}
+
+TEST(ChargedRepartition, ModerateChargeShiftsTheSplit) {
+  // A per-file shipping cost on the remote cluster shifts load toward the
+  // home cluster without emptying the remote one — the break-even behavior
+  // the network-aware scheduler relies on.
+  const auto perf = linear_perf({10.0, 10.0}, 8);
+  const Repartition charged = greedy_repartition_charged(
+      perf, 8, [](std::size_t cluster, Count k) {
+        return cluster == 1 ? 8.0 * static_cast<double>(k) : 0.0;
+      });
+  EXPECT_EQ(charged.total_dags(), 8);
+  EXPECT_GT(charged.dags_per_cluster[0], charged.dags_per_cluster[1]);
+  EXPECT_GT(charged.dags_per_cluster[1], 0);
+}
+
 TEST(Repartition, BruteForceAssignmentConsistent) {
   const auto perf = linear_perf({10.0, 15.0}, 5);
   const Repartition best = brute_force_repartition(perf, 5);

@@ -309,5 +309,45 @@ TEST(EnsembleSim, MoreResourcesNeverHurtKnapsack) {
   }
 }
 
+TEST(EnsembleSim, ZeroRestartHandoffIsBitIdentical) {
+  const Cluster c = divisible_cluster(25);
+  const Ensemble e{4, 8};
+  SimOptions plain;
+  SimOptions explicit_zero;
+  explicit_zero.restart_handoff = 0.0;
+  const SimResult a = simulate_ensemble(c, uniform_schedule(c, e, 5), e, plain);
+  const SimResult b =
+      simulate_ensemble(c, uniform_schedule(c, e, 5), e, explicit_zero);
+  EXPECT_EQ(a.makespan, b.makespan);  // exact, not NEAR
+  EXPECT_EQ(a.main_phase_end, b.main_phase_end);
+}
+
+TEST(EnsembleSim, RestartHandoffStallsEveryLaterMonth) {
+  // One scenario, one group: months run strictly in sequence, so each of
+  // the NM-1 inter-month boundaries pays exactly one hand-off.
+  const Cluster c = divisible_cluster(15);
+  const Ensemble e{1, 6};
+  GroupSchedule s;
+  s.group_sizes = {4};
+  s.post_pool = 1;
+  const SimResult base = simulate_ensemble(c, s, e);
+  SimOptions opt;
+  opt.restart_handoff = 12.5;
+  const SimResult stalled = simulate_ensemble(c, s, e, opt);
+  EXPECT_DOUBLE_EQ(stalled.makespan, base.makespan + 5 * 12.5);
+  EXPECT_EQ(stalled.mains_executed, base.mains_executed);
+}
+
+TEST(EnsembleSim, RestartHandoffRejectsNegative) {
+  const Cluster c = divisible_cluster(15);
+  GroupSchedule s;
+  s.group_sizes = {4};
+  s.post_pool = 1;
+  SimOptions opt;
+  opt.restart_handoff = -1.0;
+  EXPECT_THROW((void)simulate_ensemble(c, s, Ensemble{1, 2}, opt),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace oagrid::sim

@@ -66,6 +66,24 @@ TEST(EvalKey, DistinguishesPartitionMonthsPolicyAndPool) {
   EXPECT_NE(base, sim::make_eval_key(cluster, schedule, months, options));
 }
 
+TEST(EvalKey, RestartHandoffKeys) {
+  // The hand-off stall changes every makespan; caching across different
+  // values would poison network-aware sweeps.
+  const auto cluster = test_cluster();
+  sched::GroupSchedule schedule;
+  schedule.group_sizes = {8, 8};
+  const auto months = uniform_months(10, 150);
+  const auto base = sim::make_eval_key(cluster, schedule, months);
+
+  sim::SimOptions stalled;
+  stalled.restart_handoff = 0.96;
+  EXPECT_NE(base, sim::make_eval_key(cluster, schedule, months, stalled));
+
+  sim::SimOptions zero;
+  zero.restart_handoff = 0.0;
+  EXPECT_EQ(base, sim::make_eval_key(cluster, schedule, months, zero));
+}
+
 TEST(EvalKey, ClusterSignatureIgnoresNameOnly) {
   const std::vector<Seconds> times{100, 60, 45, 40};
   const platform::Cluster a("alpha", 32, 4, times, 20.0);

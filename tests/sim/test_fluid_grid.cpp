@@ -165,14 +165,86 @@ TEST(DynamicGrid, HigherMigrationCostMeansFewerMigrations) {
   DriftModel cheap;
   cheap.sigma = 0.25;
   cheap.seed = 5;
-  cheap.migration_cost_seconds = 60.0;
+  cheap.migration_cost_override = 60.0;
   DriftModel expensive = cheap;
-  expensive.migration_cost_seconds = 4.0 * 3600.0;
+  expensive.migration_cost_override = 4.0 * 3600.0;
   const auto many = simulate_dynamic_grid(
       grid, ensemble, GridPolicy::kMigrateWithState, cheap);
   const auto few = simulate_dynamic_grid(
       grid, ensemble, GridPolicy::kMigrateWithState, expensive);
   EXPECT_GE(many.migrations, few.migrations);
+}
+
+TEST(DynamicGrid, NetworkPricesMigrationCost) {
+  // With a network attached the per-pair cost is deploy + transfer_time.
+  DriftModel drift;
+  drift.network = net::renater_network(3);
+  drift.migration_state_mb = 120.0;
+  drift.migration_deploy_seconds = 10.0;
+  EXPECT_DOUBLE_EQ(drift.migration_cost(0, 1),
+                   10.0 + drift.network.transfer_time(0, 1, 120.0));
+  // The scalar override wins even with a network attached.
+  drift.migration_cost_override = 42.0;
+  EXPECT_DOUBLE_EQ(drift.migration_cost(0, 1), 42.0);
+  // No network, no override: the legacy flat stall.
+  DriftModel legacy;
+  EXPECT_DOUBLE_EQ(legacy.migration_cost(0, 2), kLegacyMigrationCost);
+}
+
+TEST(DynamicGrid, BandwidthMovesTheMigrationBreakEven) {
+  // The ISSUE's acceptance scenario: the same drifting campaign migrates
+  // freely over a fat network and falls back toward static behavior when
+  // the restart file must crawl over a skinny link.
+  const auto grid = platform::make_builtin_grid(25);
+  const Ensemble ensemble{10, 120};
+
+  int fat_migrations = 0, skinny_migrations = 0;
+  double fat_total = 0.0, skinny_total = 0.0, static_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    DriftModel fat;
+    fat.sigma = 0.25;
+    fat.epoch_length = 4.0 * 3600.0;
+    fat.seed = seed;
+    fat.network = net::uniform_network(
+        static_cast<int>(grid.cluster_count()), net::LinkSpec{1000.0, 0.001});
+    DriftModel skinny = fat;
+    // ~0.01 MB/s: shipping 120 MB stalls the scenario for ~3.3 hours.
+    skinny.network = net::uniform_network(
+        static_cast<int>(grid.cluster_count()), net::LinkSpec{0.01, 0.1});
+
+    const auto fat_run = simulate_dynamic_grid(
+        grid, ensemble, GridPolicy::kMigrateWithState, fat);
+    const auto skinny_run = simulate_dynamic_grid(
+        grid, ensemble, GridPolicy::kMigrateWithState, skinny);
+    const auto static_run =
+        simulate_dynamic_grid(grid, ensemble, GridPolicy::kStatic, fat);
+    fat_migrations += fat_run.migrations;
+    skinny_migrations += skinny_run.migrations;
+    fat_total += fat_run.makespan;
+    skinny_total += skinny_run.makespan;
+    static_total += static_run.makespan;
+    // Stall accounting is consistent with the migration count.
+    if (fat_run.migrations > 0) EXPECT_GT(fat_run.migration_seconds, 0.0);
+    if (skinny_run.migrations == 0)
+      EXPECT_EQ(skinny_run.migration_seconds, 0.0);
+  }
+  // Cheap state shipping -> migrate more; expensive -> migrate less.
+  EXPECT_GT(fat_migrations, skinny_migrations);
+  // And the fat network actually converts those migrations into makespan.
+  EXPECT_LT(fat_total, 0.99 * static_total);
+  // The skinny network never does worse than ~static (the policy only
+  // migrates when the priced move still wins).
+  EXPECT_LE(skinny_total, 1.02 * static_total);
+}
+
+TEST(DynamicGrid, NetworkClusterCountValidated) {
+  const auto grid = platform::make_builtin_grid(20);  // 5 clusters
+  DriftModel drift;
+  drift.network = net::renater_network(2);
+  EXPECT_THROW((void)simulate_dynamic_grid(grid, Ensemble{4, 12},
+                                           GridPolicy::kMigrateWithState,
+                                           drift),
+               std::invalid_argument);
 }
 
 TEST(DynamicGrid, DeterministicInSeed) {

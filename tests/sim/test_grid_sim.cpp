@@ -93,5 +93,102 @@ TEST(GridSim, Validation) {
       std::invalid_argument);
 }
 
+TEST(GridSimNetwork, FreeNetworkIsBitIdentical) {
+  // Acceptance gate: attaching a free network must reproduce the netless
+  // run exactly — same repartition, same makespans, to the last bit.
+  const auto grid = platform::make_builtin_grid(30);
+  const Ensemble ensemble{10, 12};
+  const auto heuristic = sched::Heuristic::kKnapsack;
+
+  const GridSimResult netless = simulate_grid(grid, ensemble, heuristic);
+  const GridNetworkOptions free_options = campaign_network_options(
+      net::free_network(static_cast<int>(grid.cluster_count())), ensemble);
+  const GridSimResult with_free =
+      simulate_grid(grid, ensemble, heuristic, 1, free_options);
+
+  EXPECT_EQ(with_free.repartition.dags_per_cluster,
+            netless.repartition.dags_per_cluster);
+  EXPECT_EQ(with_free.repartition.assignment, netless.repartition.assignment);
+  EXPECT_EQ(with_free.makespan, netless.makespan);  // bitwise
+  for (std::size_t c = 0; c < netless.cluster_makespans.size(); ++c) {
+    EXPECT_EQ(with_free.cluster_makespans[c], netless.cluster_makespans[c]);
+    EXPECT_EQ(with_free.staging_seconds[c], 0.0);
+    EXPECT_EQ(with_free.collection_seconds[c], 0.0);
+  }
+  // Volumes were still accounted (the transfers ran, at zero cost).
+  EXPECT_GT(with_free.transfer_mb, 0.0);
+  EXPECT_EQ(netless.transfer_mb, 0.0);
+}
+
+TEST(GridSimNetwork, RenaterNetworkAddsTransferTime) {
+  const auto grid = platform::make_builtin_grid(30).prefix(3);
+  const Ensemble ensemble{8, 12};
+  const auto heuristic = sched::Heuristic::kKnapsack;
+
+  const GridSimResult netless = simulate_grid(grid, ensemble, heuristic);
+  const GridNetworkOptions options = campaign_network_options(
+      net::renater_network(static_cast<int>(grid.cluster_count())), ensemble);
+  const GridSimResult priced = simulate_grid(grid, ensemble, heuristic, 1, options);
+
+  EXPECT_GT(priced.makespan, netless.makespan);
+  EXPECT_GT(priced.transfer_mb, 0.0);
+  bool any_staging = false;
+  for (std::size_t c = 0; c < priced.cluster_makespans.size(); ++c) {
+    if (priced.repartition.dags_per_cluster[c] == 0) {
+      EXPECT_EQ(priced.staging_seconds[c], 0.0);
+      EXPECT_EQ(priced.collection_seconds[c], 0.0);
+      continue;
+    }
+    // Remote clusters pay real staging and collection time; the home
+    // cluster pays (cheaper) intra-fabric time.
+    if (static_cast<ClusterId>(c) != options.home) {
+      EXPECT_GT(priced.staging_seconds[c], 0.0);
+      EXPECT_GT(priced.collection_seconds[c], 0.0);
+    }
+    any_staging = any_staging || priced.staging_seconds[c] > 0.0;
+    EXPECT_GE(priced.cluster_makespans[c],
+              priced.staging_seconds[c] + priced.collection_seconds[c]);
+  }
+  EXPECT_TRUE(any_staging);
+}
+
+TEST(GridSimNetwork, CampaignVolumesScaleWithMonths) {
+  const Ensemble short_run{4, 6};
+  const Ensemble long_run{4, 24};
+  const auto net = net::renater_network(2);
+  const GridNetworkOptions a = campaign_network_options(net, short_run);
+  const GridNetworkOptions b = campaign_network_options(net, long_run);
+  // Staging ships the initial restart (month-count independent); collection
+  // grows with the diagnostics the extra months produce.
+  EXPECT_DOUBLE_EQ(a.stage_mb_per_scenario, b.stage_mb_per_scenario);
+  EXPECT_GT(b.collect_mb_per_scenario, a.collect_mb_per_scenario);
+  EXPECT_GT(a.stage_mb_per_scenario, 0.0);
+  EXPECT_GT(a.collect_mb_per_scenario, 0.0);
+}
+
+TEST(GridSimNetwork, RejectsMismatchedClusterCount) {
+  const auto grid = platform::make_builtin_grid(25).prefix(3);
+  GridNetworkOptions options;
+  options.network = net::renater_network(2);  // grid has 3
+  EXPECT_THROW((void)simulate_grid(grid, Ensemble{4, 6},
+                                   sched::Heuristic::kBasic, 1, options),
+               std::invalid_argument);
+}
+
+TEST(GridSimNetwork, SlowNetworkConcentratesLoadAtHome) {
+  // When shipping data dwarfs computing, the charged Algorithm 1 keeps
+  // scenarios at the home cluster even though remote capacity is idle.
+  const auto grid = platform::make_builtin_grid(30).prefix(3);
+  const Ensemble ensemble{6, 12};
+
+  GridNetworkOptions crippled = campaign_network_options(
+      net::uniform_network(3, net::LinkSpec{0.001, 1.0}), ensemble);
+  const GridSimResult r =
+      simulate_grid(grid, ensemble, sched::Heuristic::kKnapsack, 1, crippled);
+  EXPECT_EQ(r.repartition.dags_per_cluster[0], 6);
+  EXPECT_EQ(r.repartition.dags_per_cluster[1], 0);
+  EXPECT_EQ(r.repartition.dags_per_cluster[2], 0);
+}
+
 }  // namespace
 }  // namespace oagrid::sim

@@ -1,10 +1,18 @@
 #!/usr/bin/env python3
-"""Compare a --bench-json run against a checked-in baseline.
+"""Compare --bench-json runs against checked-in baselines.
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold PCT]
+    check_bench_regression.py BASELINE_DIR/ CURRENT_DIR/ [--threshold PCT]
 
-Both files follow the schema written by bench/bench_util.hpp's
+In file mode the two JSON files are compared directly. In directory mode
+every *.json under BASELINE_DIR is matched by filename against CURRENT_DIR
+and each pair is compared; a baseline file with no counterpart in
+CURRENT_DIR fails the check (a silently dropped bench binary would
+otherwise hide a regression forever). Extra files in CURRENT_DIR are
+reported and ignored.
+
+All files follow the schema written by bench/bench_util.hpp's
 BenchJsonReporter:
 
     {"schema": 1,
@@ -16,15 +24,15 @@ The comparison uses cpu_ns_per_op (wall time is too noisy on shared CI
 runners). A benchmark REGRESSES when its current cpu time exceeds the
 baseline by more than --threshold percent (default 10). Benchmarks present
 only in the current run are reported as new and ignored; benchmarks present
-only in the baseline fail the check (a silently dropped benchmark would
-otherwise hide a regression forever).
+only in the baseline fail the check.
 
-Exit status: 0 = within threshold, 1 = regression or dropped benchmark,
-2 = usage / malformed input.
+Exit status: 0 = within threshold, 1 = regression or dropped benchmark or
+missing current file, 2 = usage / malformed input.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -51,20 +59,10 @@ def load_records(path):
     return records
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="checked-in baseline JSON")
-    parser.add_argument("current", help="freshly generated JSON")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=10.0,
-        help="max allowed cpu-time increase in percent (default: 10)",
-    )
-    args = parser.parse_args()
-
-    baseline = load_records(args.baseline)
-    current = load_records(args.current)
+def compare_files(baseline_path, current_path, threshold):
+    """Prints the comparison table; returns the list of failure messages."""
+    baseline = load_records(baseline_path)
+    current = load_records(current_path)
 
     failures = []
     width = max(len(name) for name in baseline)
@@ -78,11 +76,11 @@ def main():
         cur_ns = current[name]
         delta = 100.0 * (cur_ns - base_ns) / base_ns if base_ns > 0 else 0.0
         verdict = "ok"
-        if delta > args.threshold:
+        if delta > threshold:
             verdict = "FAIL"
             failures.append(
                 f"{name}: {base_ns:.1f}ns -> {cur_ns:.1f}ns "
-                f"(+{delta:.1f}% > {args.threshold:.1f}%)"
+                f"(+{delta:.1f}% > {threshold:.1f}%)"
             )
         print(
             f"{name:<{width}}  {base_ns:>10.1f}ns  {cur_ns:>10.1f}ns  "
@@ -90,13 +88,77 @@ def main():
         )
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:<{width}}  {'(new)':>12}  {current[name]:>10.1f}ns  new")
+    return failures, len(baseline)
+
+
+def compare_directories(baseline_dir, current_dir, threshold):
+    names = sorted(
+        entry
+        for entry in os.listdir(baseline_dir)
+        if entry.endswith(".json")
+    )
+    if not names:
+        sys.exit(f"error: {baseline_dir}: no *.json baselines")
+    failures = []
+    compared = 0
+    for name in names:
+        current_path = os.path.join(current_dir, name)
+        print(f"== {name} ==")
+        if not os.path.isfile(current_path):
+            failures.append(f"{name}: baseline has no current run in {current_dir}")
+            print(f"MISSING: {current_path}\n")
+            continue
+        file_failures, count = compare_files(
+            os.path.join(baseline_dir, name), current_path, threshold
+        )
+        failures.extend(f"{name}: {message}" for message in file_failures)
+        compared += count
+        print()
+    try:
+        extra = sorted(
+            entry
+            for entry in os.listdir(current_dir)
+            if entry.endswith(".json") and entry not in names
+        )
+    except OSError:
+        extra = []
+    for name in extra:
+        print(f"== {name} == (no baseline, ignored)")
+    return failures, compared
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in baseline JSON file or directory")
+    parser.add_argument("current", help="freshly generated JSON file or directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="max allowed cpu-time increase in percent (default: 10)",
+    )
+    args = parser.parse_args()
+
+    if os.path.isdir(args.baseline):
+        if not os.path.isdir(args.current):
+            sys.exit(
+                f"error: baseline {args.baseline} is a directory but "
+                f"current {args.current} is not"
+            )
+        failures, compared = compare_directories(
+            args.baseline, args.current, args.threshold
+        )
+    else:
+        failures, compared = compare_files(
+            args.baseline, args.current, args.threshold
+        )
 
     if failures:
         print(f"\n{len(failures)} regression(s) beyond {args.threshold:.1f}%:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"\nall {len(baseline)} benchmarks within {args.threshold:.1f}%")
+    print(f"\nall {compared} benchmarks within {args.threshold:.1f}%")
     return 0
 
 

@@ -30,6 +30,7 @@
 #include "middleware/client.hpp"
 #include "middleware/local_agent.hpp"
 #include "middleware/master_agent.hpp"
+#include "net/parser.hpp"
 #include "obs/obs.hpp"
 #include "platform/parser.hpp"
 #include "platform/profiles.hpp"
@@ -109,6 +110,40 @@ class ObsSession {
   std::string trace_file_;
 };
 
+/// Declares the network-model flag trio shared by the simulate / grid /
+/// sweep subcommands.
+void add_net_options(ArgParser& args) {
+  args.add_optional_value(
+          "network",
+          "price data movement over a network model: =FILE parses a "
+          "description (see docs/network.md), bare flag uses the built-in "
+          "RENATER profile",
+          "")
+      .add_option("home", "cluster that stages inputs and archives results",
+                  "0")
+      .add_option("transfer-deadline",
+                  "per-transfer budget [simulated s, 0 = none]; misses are "
+                  "reported",
+                  "0");
+}
+
+/// The network model selected by --network, sized to `clusters`, or nullopt
+/// when the flag is absent.
+std::optional<net::NetworkModel> network_from(const ArgParser& args,
+                                              int clusters) {
+  if (!args.flag("network")) return std::nullopt;
+  const std::string file = args.get("network");
+  if (file.empty()) return net::renater_network(clusters);
+  std::ifstream in(file);
+  if (!in) throw std::invalid_argument("cannot open " + file);
+  net::NetworkModel model = net::parse_network(in);
+  if (model.cluster_count() != clusters)
+    throw std::invalid_argument(
+        "network file covers " + std::to_string(model.cluster_count()) +
+        " cluster(s), the platform has " + std::to_string(clusters));
+  return model;
+}
+
 sched::Heuristic heuristic_from(const std::string& name) {
   if (name == "basic") return sched::Heuristic::kBasic;
   if (name == "redistribute") return sched::Heuristic::kRedistribute;
@@ -143,11 +178,62 @@ void add_common_workload(ArgParser& args) {
 
 /// Submits one campaign through a deployed agent hierarchy and prints the
 /// per-cluster outcome (shared by `grid` and `simulate --clusters N`).
+/// --network routes through Client::submit_staged (data movement priced and
+/// shown); otherwise --step-timeout > 0 routes through the fault-tolerant
+/// submit_with_deadline.
 void run_grid_campaign(middleware::Deployment& deployment,
                        const platform::Grid& grid,
                        const appmodel::Ensemble& ensemble,
-                       sched::Heuristic heuristic) {
+                       sched::Heuristic heuristic, const ArgParser& args) {
   middleware::Client client(deployment);
+
+  if (const auto network = network_from(args, grid.cluster_count())) {
+    middleware::Client::StagingOptions staging;
+    staging.data = sim::campaign_network_options(
+        *network, ensemble, {},
+        static_cast<ClusterId>(args.get_int("home")));
+    if (const double budget = args.get_double("transfer-deadline");
+        budget > 0.0)
+      staging.transfer_deadline = budget;
+    const auto result = client.submit_staged(ensemble, heuristic, staging);
+
+    TableWriter table({"cluster", "procs", "scenarios", "stage [s]",
+                       "compute [s]", "collect [s]", "total"});
+    for (ClusterId c = 0; c < grid.cluster_count(); ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      Seconds ms = 0;
+      for (const auto& exec : result.campaign.executions)
+        if (exec.cluster == c) ms = exec.makespan;
+      table.add_row(
+          {grid.cluster(c).name(), std::to_string(grid.cluster(c).resources()),
+           std::to_string(result.campaign.repartition.dags_per_cluster[ci]),
+           fmt(result.staging_seconds[ci], 1), fmt(ms, 0),
+           fmt(result.collection_seconds[ci], 1),
+           fmt_duration(result.staging_seconds[ci] + ms +
+                        result.collection_seconds[ci])});
+    }
+    table.print(std::cout);
+    std::cout << "\ndata moved: " << fmt(result.transfer_mb, 0) << " MB";
+    if (result.deadline_misses > 0)
+      std::cout << " (" << result.deadline_misses
+                << " transfer(s) missed the deadline)";
+    std::cout << "\ncampaign makespan: " << fmt_duration(result.makespan)
+              << "\n";
+    return;
+  }
+
+  if (const long long timeout_ms = args.get_int("step-timeout");
+      timeout_ms > 0) {
+    const auto result = client.submit_with_deadline(
+        ensemble, heuristic, std::chrono::milliseconds(timeout_ms));
+    std::cout << result.responsive.size() << " cluster(s) answered, "
+              << result.unresponsive.size() << " dropped after the "
+              << timeout_ms << " ms step deadline\n";
+    std::cout << "campaign makespan: "
+              << fmt_duration(result.campaign.makespan) << "\n";
+    return;
+  }
+
   const middleware::CampaignResult result = client.submit(ensemble, heuristic);
 
   TableWriter table(
@@ -224,8 +310,13 @@ int cmd_simulate(const std::vector<std::string>& argv) {
                   "worker cap for --optimize's parallel local search "
                   "(0 = all)",
                   "0")
+      .add_option("step-timeout",
+                  "with --clusters N>1: per-protocol-step daemon deadline "
+                  "[wall ms, 0 = wait forever]",
+                  "0")
       .add_flag("gantt", "print an ASCII Gantt chart")
       .add_flag("optimize", "refine the grouping with local search first");
+  add_net_options(args);
   add_obs_options(args);
   args.parse(argv);
   const ObsSession obs_session(args);
@@ -242,7 +333,7 @@ int cmd_simulate(const std::vector<std::string>& argv) {
       // gauges and trace events) before the exporters run.
       middleware::MasterAgent agent(grid);
       run_grid_campaign(agent, grid, ensemble,
-                        heuristic_from(args.get("heuristic")));
+                        heuristic_from(args.get("heuristic")), args);
     }
     obs_session.finish();
     return 0;
@@ -267,6 +358,14 @@ int cmd_simulate(const std::vector<std::string>& argv) {
   options.perturbation.duration_jitter = args.get_double("jitter");
   options.perturbation.failure_probability = args.get_double("failures");
   options.perturbation.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  if (const auto network = network_from(args, 1)) {
+    // Single cluster: the network prices the inter-month restart hand-off
+    // over the cluster's own fabric (shared storage between group runs).
+    options.restart_handoff =
+        network->transfer_time(0, 0, appmodel::VolumeParams{}.restart_mb);
+    std::cout << "restart hand-off: " << fmt(options.restart_handoff, 4)
+              << " s per month boundary\n";
+  }
   if (obs::enabled()) {
     options.obs_trace = &obs::trace_buffer();
     options.obs_label = cluster.name();
@@ -316,8 +415,17 @@ int cmd_dynamic(const std::vector<std::string>& argv) {
       .add_option("months", "months per scenario (NM)", "120")
       .add_option("sigma", "per-epoch log speed drift", "0.2")
       .add_option("epoch", "re-evaluation period [s]", "14400")
-      .add_option("cost", "migration cost [s]", "300")
-      .add_option("seeds", "number of drift seeds", "10");
+      .add_option("cost",
+                  "migration cost [s]; < 0 derives it from the network "
+                  "model (or the 300 s legacy flat cost without one)",
+                  "-1")
+      .add_option("state-mb", "state shipped per migration [MB]", "120")
+      .add_option("seeds", "number of drift seeds", "10")
+      .add_optional_value(
+          "network",
+          "price migrations over a network model: =FILE parses a "
+          "description, bare flag uses the built-in RENATER profile",
+          "");
   args.parse(argv);
 
   const auto grid =
@@ -325,25 +433,31 @@ int cmd_dynamic(const std::vector<std::string>& argv) {
           .prefix(static_cast<int>(args.get_int("clusters")));
   const appmodel::Ensemble ensemble{args.get_int("scenarios"),
                                     args.get_int("months")};
-  TableWriter table({"policy", "mean makespan", "human", "mean migrations"});
+  const auto network = network_from(args, grid.cluster_count());
+  TableWriter table({"policy", "mean makespan", "human", "mean migrations",
+                     "mean migr [s]"});
   for (const auto policy :
        {sim::GridPolicy::kStatic, sim::GridPolicy::kRebalanceUnstarted,
         sim::GridPolicy::kMigrateWithState}) {
-    double total = 0, moves = 0;
+    double total = 0, moves = 0, stalls = 0;
     const auto seeds = args.get_int("seeds");
     for (long long seed = 1; seed <= seeds; ++seed) {
       sim::DriftModel drift;
       drift.sigma = args.get_double("sigma");
       drift.epoch_length = args.get_double("epoch");
-      drift.migration_cost_seconds = args.get_double("cost");
+      drift.migration_cost_override = args.get_double("cost");
+      drift.migration_state_mb = args.get_double("state-mb");
+      if (network) drift.network = *network;
       drift.seed = static_cast<std::uint64_t>(seed);
       const auto result = simulate_dynamic_grid(grid, ensemble, policy, drift);
       total += result.makespan;
       moves += result.migrations;
+      stalls += result.migration_seconds;
     }
     table.add_row({to_string(policy), fmt(total / static_cast<double>(seeds), 0),
                    fmt_duration(total / static_cast<double>(seeds)),
-                   fmt(moves / static_cast<double>(seeds), 1)});
+                   fmt(moves / static_cast<double>(seeds), 1),
+                   fmt(stalls / static_cast<double>(seeds), 0)});
   }
   table.print(std::cout);
   return 0;
@@ -394,7 +508,12 @@ int cmd_grid(const std::vector<std::string>& argv) {
       .add_option("heuristic", "grouping heuristic", "knapsack")
       .add_option("grid-file", "platform description file", "")
       .add_option("branching", "agent-tree branching factor (with --hierarchy)", "2")
+      .add_option("step-timeout",
+                  "per-protocol-step daemon deadline [wall ms, 0 = wait "
+                  "forever]",
+                  "0")
       .add_flag("hierarchy", "deploy a DIET-style Local Agent tree");
+  add_net_options(args);
   add_obs_options(args);
   args.parse(argv);
   const ObsSession obs_session(args);
@@ -425,7 +544,7 @@ int cmd_grid(const std::vector<std::string>& argv) {
     deployment = std::make_unique<middleware::MasterAgent>(grid);
   }
 
-  run_grid_campaign(*deployment, grid, ensemble, heuristic);
+  run_grid_campaign(*deployment, grid, ensemble, heuristic, args);
   deployment.reset();  // join SeD threads before the exporters run
   obs_session.finish();
   return 0;
@@ -443,12 +562,17 @@ int cmd_sweep(const std::vector<std::string>& argv) {
       .add_option("threads", "worker cap for the parallel sweep (0 = all)",
                   "0")
       .add_flag("csv", "emit CSV instead of an aligned table");
+  add_net_options(args);
   add_obs_options(args);
   args.parse(argv);
   const ObsSession obs_session(args);
 
   const appmodel::Ensemble ensemble{args.get_int("scenarios"),
                                     args.get_int("months")};
+  sim::SimOptions sweep_options;
+  if (const auto network = network_from(args, 1))
+    sweep_options.restart_handoff =
+        network->transfer_time(0, 0, appmodel::VolumeParams{}.restart_mb);
   std::vector<ProcCount> resource_grid;
   for (long long r = args.get_int("from"); r <= args.get_int("to");
        r += args.get_int("step"))
@@ -469,8 +593,9 @@ int cmd_sweep(const std::vector<std::string>& argv) {
         const auto cluster =
             platform::make_builtin_cluster(profile, resource_grid[i]);
         auto eval = [&](sched::Heuristic h) {
-          return sim::cached_makespan(
-              cluster, sched::make_schedule(h, cluster, ensemble), ensemble);
+          return sim::cached_makespan(cluster,
+                                      sched::make_schedule(h, cluster, ensemble),
+                                      ensemble, sweep_options);
         };
         SweepCell cell;
         cell.basic = eval(sched::Heuristic::kBasic);
