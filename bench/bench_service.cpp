@@ -7,14 +7,23 @@
 /// stretch, then prices the crash-recovery machinery: journal records,
 /// snapshots, and verified-replay recovery time, all straight from the obs
 /// metrics the service emits.
+///
+/// The narrative tables print first; the registered google-benchmark
+/// microbenchmarks (full shared run, journal recovery, failure-aware
+/// estimation) run after them and honour --bench-json.
 
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
 #include <filesystem>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "fault/failure.hpp"
 #include "obs/obs.hpp"
 #include "platform/profiles.hpp"
 #include "service/service.hpp"
@@ -71,9 +80,7 @@ std::vector<Seconds> alone_makespans() {
   return result;
 }
 
-}  // namespace
-
-int main() {
+void print_tables() {
   bench::banner(
       "Campaign service (multi-tenant sharing of the paper's grid)",
       "queue policies vs dedicated reservations; journal/recovery cost");
@@ -153,5 +160,82 @@ int main() {
   std::cout << "\n== service metrics (shared fair-share run + recovery) ==\n";
   obs::write_metrics_table(std::cout, obs::metrics());
   std::filesystem::remove_all(dir);
+  obs::set_enabled(false);
+  std::cout << "\n";
+}
+
+void BM_ServiceSharedRun(benchmark::State& state) {
+  // One full multi-tenant service lifetime: admission, elastic leases,
+  // placement decisions, and the simulated executions.
+  ServiceOptions options;
+  options.policy = service::QueuePolicy::kWeightedFairShare;
+  options.max_active = 2;
+  std::int64_t lease_changes = 0;
+  for (auto _ : state) {
+    const auto svc = run_all(options);
+    lease_changes = static_cast<std::int64_t>(svc->lease_changes());
+    benchmark::DoNotOptimize(svc->now());
+  }
+  state.counters["lease_changes"] = static_cast<double>(lease_changes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tenants().size()));
+}
+BENCHMARK(BM_ServiceSharedRun);
+
+void BM_ServiceRecovery(benchmark::State& state) {
+  // Verified journal replay: what a crashed service pays to come back.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "oagrid_bench_service_replay")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ServiceOptions durable;
+  durable.policy = service::QueuePolicy::kWeightedFairShare;
+  durable.max_active = 2;
+  durable.journal_dir = dir;
+  (void)run_all(durable);
+
+  std::int64_t replayed = 0;
+  for (auto _ : state) {
+    CampaignService recovered(bench_grid(), durable);
+    const service::RecoveryReport report = recovered.recover();
+    replayed = static_cast<std::int64_t>(report.replayed_records);
+    benchmark::DoNotOptimize(report.resume_time);
+  }
+  state.counters["replayed_records"] = static_cast<double>(replayed);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          replayed);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ServiceRecovery);
+
+void BM_FailureAwareEstimation(benchmark::State& state) {
+  // The FailureAwareEstimator decorator on the analytic backend: the
+  // per-admission cost of folding failure expectations into lease sizing.
+  const platform::Grid grid = bench_grid();
+  service::AnalyticEstimator analytic;
+  service::FailureAwareEstimator estimator(
+      analytic, grid,
+      fault::FailureModel::uniform_exponential(grid.cluster_count(), 40000.0,
+                                               2000.0),
+      3);
+  for (auto _ : state)
+    for (ClusterId c = 0; c < grid.cluster_count(); ++c)
+      benchmark::DoNotOptimize(
+          estimator.vector(grid.cluster(c), 10, 24, sched::Heuristic::kKnapsack));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          grid.cluster_count());
+}
+BENCHMARK(BM_FailureAwareEstimation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json = oagrid::bench::extract_bench_json(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  print_tables();
+  oagrid::bench::run_benchmarks(json);
+  benchmark::Shutdown();
   return 0;
 }

@@ -1,0 +1,65 @@
+#include "fault/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oagrid::fault {
+
+Seconds young_daly_interval(Seconds mtbf, Seconds checkpoint_cost) {
+  if (mtbf <= 0.0) return kUnavailableTime;
+  return std::sqrt(2.0 * std::max(0.0, checkpoint_cost) * mtbf);
+}
+
+MonthIndex optimal_checkpoint_months(Seconds month_seconds,
+                                     Seconds checkpoint_cost, Seconds mtbf,
+                                     MonthIndex max_months) {
+  OAGRID_REQUIRE(month_seconds > 0.0, "month duration must be positive");
+  OAGRID_REQUIRE(max_months >= 1, "max checkpoint cadence must be >= 1");
+  const Seconds interval = young_daly_interval(mtbf, checkpoint_cost);
+  const auto months = static_cast<MonthIndex>(std::llround(interval / month_seconds));
+  return std::clamp(months, MonthIndex{1}, max_months);
+}
+
+Seconds expected_makespan(Seconds clean, const FailureProcess& process,
+                          Seconds checkpoint_period) {
+  switch (process.kind) {
+    case ProcessKind::kNone:
+      return clean;
+    case ProcessKind::kDown:
+      return kUnavailableTime;
+    case ProcessKind::kExponential:
+    case ProcessKind::kWeibull:
+      break;
+  }
+  if (process.mtbf <= 0.0) return kUnavailableTime;
+  const Seconds lost_per_failure =
+      process.mttr + 0.5 * std::max(0.0, checkpoint_period);
+  return clean * (1.0 + lost_per_failure / process.mtbf);
+}
+
+sched::PlacementCharge make_failure_charge(
+    const FailureModel& model,
+    std::span<const sched::PerformanceVector> performance, Count months,
+    MonthIndex checkpoint_months) {
+  if (!model.active()) return nullptr;  // null charge is the bit-identical path
+  OAGRID_REQUIRE(months > 0, "failure charge needs months > 0");
+  OAGRID_REQUIRE(checkpoint_months >= 1, "checkpoint cadence must be >= 1");
+  return [&model, performance, months,
+          checkpoint_months](std::size_t cluster, Count k) -> Seconds {
+    const auto c = static_cast<ClusterId>(cluster);
+    if (!model.cluster_active(c)) return 0.0;
+    const auto& perf = performance[cluster];
+    const Seconds clean = perf[static_cast<std::size_t>(k) - 1];
+    // Wall time between restart files: with k scenarios pipelined across the
+    // cluster's groups, each of the k*months months occupies clean/(k*months)
+    // of the makespan on average; a checkpoint every `checkpoint_months`
+    // months spans checkpoint_months times that.
+    const Seconds period = clean * static_cast<double>(checkpoint_months) /
+                           (static_cast<double>(k) * static_cast<double>(months));
+    const Seconds expected =
+        expected_makespan(clean, model.process(c), period);
+    return expected >= kUnavailableTime ? kUnavailableTime : expected - clean;
+  };
+}
+
+}  // namespace oagrid::fault

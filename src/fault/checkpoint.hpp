@@ -1,0 +1,62 @@
+#pragma once
+/// \file checkpoint.hpp
+/// \brief Checkpoint-cadence math and expected-makespan-under-failures
+/// estimates.
+///
+/// The application's natural checkpoint is the monthly restart file (§3 of
+/// the paper), so recovery granularity is k months for some k >= 1. This
+/// module answers two questions analytically: how often to checkpoint
+/// (Young/Daly first-order optimum) and how much a cluster's makespan
+/// inflates once its failure process is accounted for — the quantity
+/// Algorithm 1 and the campaign service need to stop placing work on
+/// unreliable or dead clusters.
+
+#include <span>
+
+#include "fault/failure.hpp"
+#include "sched/repartition.hpp"
+
+namespace oagrid::fault {
+
+/// Practically-infinite completion time for work placed on a permanently
+/// down cluster. Deliberately finite (unlike kInfiniteTime) so Algorithm 1's
+/// strict `<` comparisons still order candidates instead of seeing ties at
+/// infinity everywhere.
+inline constexpr Seconds kUnavailableTime = 1e30;
+
+/// Young's first-order optimal checkpoint interval W = sqrt(2 * C * MTBF)
+/// for checkpoint cost C. Returns kUnavailableTime when mtbf <= 0.
+[[nodiscard]] Seconds young_daly_interval(Seconds mtbf, Seconds checkpoint_cost);
+
+/// Rounds the Young/Daly interval to a whole number of months of the given
+/// duration, clamped to [1, max_months]. The k to pass as checkpoint cadence
+/// when the user asks for the automatic setting.
+[[nodiscard]] MonthIndex optimal_checkpoint_months(Seconds month_seconds,
+                                                   Seconds checkpoint_cost,
+                                                   Seconds mtbf,
+                                                   MonthIndex max_months);
+
+/// First-order expected completion time of work that takes `clean` seconds
+/// failure-free on a cluster with the given process, checkpointing every
+/// `checkpoint_period` seconds: clean * (1 + (MTTR + period/2) / MTBF) —
+/// each failure costs one repair plus half a period of redone work, and
+/// clean/MTBF failures are expected. A kNone process returns `clean`
+/// unchanged (exact, not approximately); kDown returns kUnavailableTime.
+[[nodiscard]] Seconds expected_makespan(Seconds clean,
+                                        const FailureProcess& process,
+                                        Seconds checkpoint_period);
+
+/// Failure-aware placement charge for Algorithm 1: charges cluster c with
+/// the *extra* expected time failures add on top of performance[c][k-1].
+/// The checkpoint period for k scenarios over `months` months is
+/// checkpoint_months / (k * months) of the clean makespan — scenarios run
+/// concurrently, so each group's wall time between restarts shrinks as the
+/// cluster's share grows. An inactive model charges exactly 0.0, keeping
+/// greedy_repartition_charged bit-identical to the uncharged algorithm.
+/// The performance span must stay alive while the charge is used.
+[[nodiscard]] sched::PlacementCharge make_failure_charge(
+    const FailureModel& model,
+    std::span<const sched::PerformanceVector> performance, Count months,
+    MonthIndex checkpoint_months);
+
+}  // namespace oagrid::fault

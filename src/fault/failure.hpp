@@ -1,0 +1,181 @@
+#pragma once
+/// \file failure.hpp
+/// \brief Grid availability model: per-cluster node up/down processes.
+///
+/// The paper's Grid'5000 campaigns lost whole clusters mid-run — §6 reports
+/// reservations dying and scenarios rewinding to their last monthly restart.
+/// This module makes that a first-class, seedable platform input (the way
+/// SimGrid treats host availability traces): each cluster carries a failure
+/// process — exponential or Weibull interarrival times plus a repair-time
+/// distribution, explicit trace outages, or a permanent `down` marker for a
+/// reservation that is simply gone — and the simulators consume it through
+/// deterministic per-unit outage streams.
+///
+/// Determinism contract: every draw is a pure function of (model seed,
+/// cluster id, unit index), so a failure-injected simulation is byte-stable
+/// across runs and across thread counts, and an *inactive* model (no process
+/// on any cluster) injects no events at all — results are then bit-identical
+/// to a run without the model.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace oagrid::fault {
+
+/// What a killed scenario does about the failure (docs/fault.md discusses
+/// the trade-offs; the DES implements all three).
+enum class RecoveryPolicy : std::uint8_t {
+  kWaitForRepair,        ///< stay pinned to the failed node set until repair
+  kRescheduleInCluster,  ///< re-enter the dispatch pool immediately
+  kMigrateWithState,     ///< reschedule, paying a restart-staging stall
+};
+
+[[nodiscard]] const char* to_string(RecoveryPolicy policy) noexcept;
+
+/// Parses "wait" | "reschedule" | "migrate"; throws on anything else.
+[[nodiscard]] RecoveryPolicy recovery_policy_from(const std::string& name);
+
+/// One unavailability window of a node set.
+struct Outage {
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+};
+
+/// Interarrival law of a cluster's failure process.
+enum class ProcessKind : std::uint8_t {
+  kNone,         ///< never fails (the default — and the paper's §4 world)
+  kExponential,  ///< memoryless, the classic MTBF model
+  kWeibull,      ///< shape < 1 captures the infant-mortality burstiness
+                 ///< observed on real grids
+  kDown,         ///< permanently unavailable (a reservation that died)
+};
+
+/// Per-cluster failure description. Stochastic interarrival/repair draws and
+/// explicit trace outages compose: trace outages model cluster-wide
+/// reservation losses and hit every unit simultaneously, stochastic draws
+/// are independent per unit (node-level faults).
+struct FailureProcess {
+  ProcessKind kind = ProcessKind::kNone;
+  double mtbf = 0.0;   ///< mean time between failures [s] (exp / Weibull)
+  double mttr = 0.0;   ///< mean time to repair [s] (exponential repairs)
+  double shape = 1.0;  ///< Weibull shape k (scale derived from the MTBF)
+  std::vector<Outage> outages;  ///< explicit windows, sorted by start
+
+  [[nodiscard]] bool active() const noexcept {
+    return kind != ProcessKind::kNone || !outages.empty();
+  }
+
+  /// Steady-state fraction of time up (1 for kNone, 0 for kDown; explicit
+  /// trace outages are transient and excluded).
+  [[nodiscard]] double availability() const noexcept;
+};
+
+/// The grid's availability description: one FailureProcess per cluster plus
+/// the seed every stochastic stream derives from. A default-constructed
+/// model (0 clusters) — or one where no cluster has a process — is inactive
+/// and changes nothing anywhere.
+class FailureModel {
+ public:
+  FailureModel() = default;
+  explicit FailureModel(int clusters);
+
+  [[nodiscard]] int cluster_count() const noexcept {
+    return static_cast<int>(processes_.size());
+  }
+
+  void set_exponential(ClusterId cluster, double mtbf, double mttr);
+  void set_weibull(ClusterId cluster, double shape, double mtbf, double mttr);
+  void set_down(ClusterId cluster);
+  /// Adds an explicit cluster-wide outage window (kept sorted by start).
+  void add_outage(ClusterId cluster, Seconds start, Seconds duration);
+
+  void set_seed(std::uint64_t seed) noexcept { seed_ = seed; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  [[nodiscard]] const FailureProcess& process(ClusterId cluster) const;
+
+  /// True when any cluster can ever fail.
+  [[nodiscard]] bool active() const noexcept;
+  [[nodiscard]] bool cluster_active(ClusterId cluster) const;
+
+  /// 64-bit content signature (FNV-1a over every parameter, outage window
+  /// and the seed) — the eval-cache key component that keeps failure-run
+  /// makespans from aliasing clean ones.
+  [[nodiscard]] std::uint64_t signature() const noexcept;
+
+  /// Every cluster fails exponentially with the same MTBF/MTTR.
+  [[nodiscard]] static FailureModel uniform_exponential(int clusters,
+                                                        double mtbf,
+                                                        double mttr,
+                                                        std::uint64_t seed = 1);
+
+ private:
+  std::vector<FailureProcess> processes_;
+  std::uint64_t seed_ = 1;
+};
+
+/// Deterministic sequence of outages for one unit (node set / group) of one
+/// cluster: the merge of the cluster's explicit trace windows (shared by all
+/// units) and the unit's private stochastic renewal process, seeded from
+/// (model seed, cluster, unit). `next(t)` returns the first outage starting
+/// at or after `t`; windows that would start in the past (the unit was
+/// already down) are skipped.
+class OutageStream {
+ public:
+  OutageStream() = default;  ///< inactive: next() always returns nullopt
+  OutageStream(const FailureModel& model, ClusterId cluster, int unit);
+
+  [[nodiscard]] std::optional<Outage> next(Seconds t);
+
+ private:
+  void refill_stochastic();
+
+  const FailureProcess* process_ = nullptr;
+  Rng rng_;
+  std::optional<Outage> pending_;  ///< drawn but unconsumed stochastic window
+  Seconds clock_ = 0.0;            ///< stochastic renewal position
+  std::size_t trace_pos_ = 0;
+};
+
+/// Fluid view over an OutageStream: the fraction of a time window a unit
+/// spends down. Used by the fluid grid to scale epoch throughput by
+/// availability. Windows must be queried in non-decreasing order.
+class AvailabilityTracker {
+ public:
+  AvailabilityTracker() = default;
+  AvailabilityTracker(const FailureModel& model, ClusterId cluster, int unit);
+
+  /// Down-time fraction within [t0, t1). Returns 0 for an inactive stream.
+  [[nodiscard]] double down_fraction(Seconds t0, Seconds t1);
+
+ private:
+  OutageStream stream_;
+  Seconds down_until_ = 0.0;
+  std::optional<Outage> pending_;
+  bool permanently_down_ = false;
+};
+
+/// What the failure machinery cost one simulation run — the lost-work
+/// accountant surfaced in SimResult/GridSimResult and the fault.* metrics.
+struct FaultStats {
+  Count outages = 0;           ///< node-down events that hit the run
+  Count kills = 0;             ///< in-flight months killed by outages
+  Count rewound_months = 0;    ///< completed months rolled back to checkpoint
+  Seconds downtime_seconds = 0.0;  ///< summed unavailability windows
+  Seconds lost_seconds = 0.0;  ///< compute thrown away (in-flight + rewound)
+
+  void merge(const FaultStats& other) noexcept {
+    outages += other.outages;
+    kills += other.kills;
+    rewound_months += other.rewound_months;
+    downtime_seconds += other.downtime_seconds;
+    lost_seconds += other.lost_seconds;
+  }
+};
+
+}  // namespace oagrid::fault

@@ -1,0 +1,38 @@
+#pragma once
+/// \file parser.hpp
+/// \brief Text description format for failure models, mirroring the network
+/// file format so recorded grid availability traces can be replayed.
+///
+/// Format (line-oriented, '#' starts a comment):
+///
+///   failures 3                  # cluster count, must come first
+///   seed 42                     # stochastic stream seed (optional)
+///   mtbf 0 86400 3600           # cluster, MTBF [s], MTTR [s]: exponential
+///   weibull 1 0.7 86400 3600    # cluster, shape, MTBF [s], MTTR [s]
+///   outage 2 7200 1800          # cluster, start [s], duration [s]: explicit
+///   down 1                      # cluster permanently unavailable
+///
+/// Directives after the `failures` header may appear in any order; `mtbf`,
+/// `weibull` and `down` override each other per cluster (last wins), while
+/// `outage` lines accumulate.
+
+#include <iosfwd>
+#include <string>
+
+#include "fault/failure.hpp"
+
+namespace oagrid::fault {
+
+/// Parses a failure description. Throws std::invalid_argument with a
+/// line-numbered message on any malformed input.
+[[nodiscard]] FailureModel parse_failures(std::istream& in);
+
+/// Convenience overload over an in-memory string.
+[[nodiscard]] FailureModel parse_failures_string(const std::string& text);
+
+/// Serializes a model back to the same format (round-trips exactly with
+/// parse_failures): seed line, one process line per failing cluster, one
+/// `outage` line per explicit window.
+void write_failures(std::ostream& out, const FailureModel& model);
+
+}  // namespace oagrid::fault

@@ -22,7 +22,9 @@
 #include <map>
 #include <memory>
 
+#include "fault/failure.hpp"
 #include "platform/cluster.hpp"
+#include "platform/grid.hpp"
 #include "sched/heuristics.hpp"
 #include "sched/repartition.hpp"
 
@@ -77,6 +79,33 @@ class MiddlewareEstimator final : public PerfEstimator {
   std::unique_ptr<middleware::MasterAgent> agent_;
   std::map<std::pair<std::string, ProcCount>, ClusterId> deployed_;
   int next_request_id_ = 1;
+};
+
+/// Decorator folding a fault::FailureModel into any estimator's vectors:
+/// each entry is inflated to its first-order expected makespan under the
+/// cluster's failure process (fault::expected_makespan), and entries for a
+/// permanently dead cluster become fault::kUnavailableTime — so Algorithm 1
+/// places nothing there and the service degrades the tenant's lease instead
+/// of deadlocking on capacity that will never compute. Clusters are matched
+/// by name against the grid the model indexes; unknown names pass through
+/// unchanged. Deterministic whenever the inner estimator is (the inflation
+/// is closed-form), so verified journal replay keeps working.
+class FailureAwareEstimator final : public PerfEstimator {
+ public:
+  /// `inner` must outlive this estimator (not owned).
+  FailureAwareEstimator(PerfEstimator& inner, const platform::Grid& grid,
+                        fault::FailureModel model,
+                        MonthIndex checkpoint_months = 1);
+
+  [[nodiscard]] sched::PerformanceVector vector(
+      const platform::Cluster& cluster, Count scenarios, Count months,
+      sched::Heuristic heuristic) override;
+
+ private:
+  PerfEstimator& inner_;
+  std::map<std::string, ClusterId> cluster_by_name_;
+  fault::FailureModel model_;
+  MonthIndex checkpoint_months_;
 };
 
 }  // namespace oagrid::service

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/rng.hpp"
+#include "fault/checkpoint.hpp"
 #include "obs/obs.hpp"
 #include "sim/calendar.hpp"
 
@@ -18,12 +19,23 @@ struct Group {
   bool busy = false;
   bool retired = false;
   Seconds busy_seconds = 0.0;
+  // Failure-injection state; untouched (and behavior-neutral) without an
+  // active FaultOptions.
+  bool down = false;              ///< node set currently unavailable
+  std::uint32_t epoch = 0;        ///< bumped per outage; stales kMainDone
+  Seconds pending_repair = 0.0;   ///< duration of the scheduled next outage
+  Seconds current_start = 0.0;    ///< in-flight main task bounds (busy only)
+  Seconds current_end = 0.0;
+  ScenarioId current_scenario = 0;
+  MonthIndex current_month = 0;
 };
 
 struct Scenario {
   MonthIndex months_done = 0;       ///< completed months
   MonthIndex months_dispatched = 0; ///< started (or completed) months
   bool running = false;
+  int pinned_group = -1;   ///< wait-for-repair: resume only on this group
+  bool needs_staging = false;  ///< migrate-with-state: next month re-stages
 };
 
 struct PostTask {
@@ -59,16 +71,19 @@ class FlatQueue {
   std::size_t head_ = 0;
 };
 
-/// The simulator's entire event vocabulary: a main task or a post task
-/// finishing. Plain struct — scheduling one is a push into the calendar's
-/// flat heap, not a std::function allocation.
+/// The simulator's entire event vocabulary: a main/post task finishing, or a
+/// node set failing / coming back. Plain struct — scheduling one is a push
+/// into the calendar's flat heap, not a std::function allocation.
 struct SimEvent {
-  enum class Kind : std::uint8_t { kMainDone, kPostDone };
+  enum class Kind : std::uint8_t { kMainDone, kPostDone, kNodeDown, kNodeUp };
   Kind kind = Kind::kMainDone;
   bool failed = false;
   int unit = 0;  ///< group index (kMainDone) or post worker id (kPostDone)
   ScenarioId scenario = 0;
   MonthIndex month = 0;
+  /// Group epoch at schedule time; a kMainDone whose epoch no longer matches
+  /// was killed by an outage (the calendar has no removal — §fault docs).
+  std::uint32_t epoch = 0;
 };
 
 class EnsembleSimulation {
@@ -81,10 +96,17 @@ class EnsembleSimulation {
         schedule_(schedule),
         months_limit_(std::move(months_per_scenario)),
         options_(options),
-        rng_(options.perturbation.seed) {
+        rng_(options.perturbation.seed),
+        fault_active_(options.fault.active()) {
     OAGRID_REQUIRE(!months_limit_.empty(), "need at least one scenario");
     OAGRID_REQUIRE(options.restart_handoff >= 0.0,
                    "restart hand-off must be >= 0");
+    if (fault_active_) {
+      OAGRID_REQUIRE(options.fault.checkpoint_months >= 1,
+                     "checkpoint cadence must be >= 1 month");
+      OAGRID_REQUIRE(options.fault.migrate_staging >= 0.0,
+                     "migration staging must be >= 0");
+    }
     total_months_ = 0;
     for (const MonthIndex m : months_limit_) {
       OAGRID_REQUIRE(m >= 1, "each scenario needs at least one month");
@@ -122,18 +144,46 @@ class EnsembleSimulation {
     const bool observed = obs::enabled();
     const double wall_start_us =
         observed ? obs::WallClock::instance().now_us() : 0.0;
+    if (fault_active_) {
+      // Outage streams are per-unit deterministic (model seed, cluster,
+      // group); their first windows go into the calendar before any main so
+      // a t=0 outage beats a t=0 dispatch.
+      outage_streams_.reserve(groups_.size());
+      done_costs_.resize(static_cast<std::size_t>(scenario_count()));
+      for (int g = 0; g < static_cast<int>(groups_.size()); ++g) {
+        outage_streams_.emplace_back(*options_.fault.model,
+                                     options_.fault.cluster, g);
+        schedule_next_outage(g, 0.0);
+      }
+    }
     dispatch_mains();
     std::size_t executed = 0;
     while (!calendar_.empty()) {
       const SimEvent event = calendar_.pop();
       ++executed;
-      if (event.kind == SimEvent::Kind::kMainDone)
-        finish_main(event.unit, event.scenario, event.month, event.failed);
-      else
-        finish_post(event.unit);
+      switch (event.kind) {
+        case SimEvent::Kind::kMainDone:
+          finish_main(event.unit, event.scenario, event.month, event.failed,
+                      event.epoch);
+          break;
+        case SimEvent::Kind::kPostDone:
+          finish_post(event.unit);
+          break;
+        case SimEvent::Kind::kNodeDown:
+          handle_node_down(event.unit);
+          break;
+        case SimEvent::Kind::kNodeUp:
+          handle_node_up(event.unit);
+          break;
+      }
     }
     result_.events = executed;
     result_.makespan = std::max(result_.main_phase_end, last_post_end_);
+    // Every node set died for good with months still pending: the campaign
+    // cannot finish on this cluster. Surface the large-but-finite sentinel
+    // (schedulers order by it) instead of a silently-short makespan.
+    if (fault_active_ && months_done_total_ < total_months())
+      result_.makespan = fault::kUnavailableTime;
     double busy = 0.0;
     double alloc = 0.0;
     for (const Group& g : groups_) {
@@ -178,6 +228,23 @@ class EnsembleSimulation {
         group_busy.record(group_busy_ratio);
         group_idle.record(std::max(0.0, result_.makespan - g.busy_seconds));
       }
+      if (fault_active_) {
+        static obs::Counter& fault_outages =
+            obs::metrics().counter("fault.outages");
+        static obs::Counter& fault_kills = obs::metrics().counter("fault.kills");
+        static obs::Counter& fault_rewound =
+            obs::metrics().counter("fault.rewound_months");
+        static obs::Histogram& fault_downtime =
+            obs::metrics().histogram("fault.downtime_seconds");
+        static obs::Histogram& fault_lost =
+            obs::metrics().histogram("fault.lost_seconds");
+        fault_outages.add(static_cast<std::uint64_t>(result_.fault.outages));
+        fault_kills.add(static_cast<std::uint64_t>(result_.fault.kills));
+        fault_rewound.add(
+            static_cast<std::uint64_t>(result_.fault.rewound_months));
+        fault_downtime.record(result_.fault.downtime_seconds);
+        fault_lost.record(result_.fault.lost_seconds);
+      }
     }
     return std::move(result_);
   }
@@ -191,7 +258,9 @@ class EnsembleSimulation {
 
   bool scenario_available(ScenarioId s) const {
     const Scenario& sc = scenarios_[static_cast<std::size_t>(s)];
-    return !sc.running &&
+    // A pinned scenario (wait-for-repair) is served by its own dispatch
+    // pass, not the shared pool; pins only exist under fault injection.
+    return !sc.running && sc.pinned_group < 0 &&
            sc.months_dispatched < months_limit_[static_cast<std::size_t>(s)];
   }
 
@@ -228,13 +297,13 @@ class EnsembleSimulation {
     return -1;
   }
 
-  /// Fastest idle non-retired group (smallest main time, then index); -1
-  /// when every group is busy or retired.
+  /// Fastest idle non-retired non-down group (smallest main time, then
+  /// index); -1 when every group is busy, retired or down.
   int pick_idle_group() const {
     int best = -1;
     for (int g = 0; g < static_cast<int>(groups_.size()); ++g) {
       const Group& group = groups_[static_cast<std::size_t>(g)];
-      if (group.busy || group.retired) continue;
+      if (group.busy || group.retired || group.down) continue;
       if (best < 0 ||
           group.main_time < groups_[static_cast<std::size_t>(best)].main_time)
         best = g;
@@ -244,6 +313,40 @@ class EnsembleSimulation {
 
   /// Pairs available scenarios with idle groups until neither remains.
   void dispatch_mains() {
+    if (fault_active_) {
+      // Pinned scenarios (wait-for-repair) resume on their own group before
+      // the shared pool is served; keep alternating until a full round makes
+      // no progress.
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (ScenarioId s = 0; s < scenario_count(); ++s) {
+          Scenario& sc = scenarios_[static_cast<std::size_t>(s)];
+          if (sc.pinned_group < 0 || sc.running) continue;
+          if (sc.months_dispatched >=
+              months_limit_[static_cast<std::size_t>(s)]) {
+            sc.pinned_group = -1;
+            continue;
+          }
+          const int g = sc.pinned_group;
+          const Group& group = groups_[static_cast<std::size_t>(g)];
+          if (group.busy || group.retired || group.down) continue;
+          sc.pinned_group = -1;  // the pin covers one resumption, not forever
+          start_main(g, s);
+          progress = true;
+        }
+        const int g = pick_idle_group();
+        if (g >= 0) {
+          const ScenarioId s = pick_scenario();
+          if (s >= 0) {
+            start_main(g, s);
+            progress = true;
+          }
+        }
+      }
+      maybe_retire_idle_groups();
+      return;
+    }
     for (;;) {
       const int g = pick_idle_group();
       if (g < 0) break;
@@ -271,8 +374,14 @@ class EnsembleSimulation {
     group.busy = true;
     // Months after the first stall on the restart hand-off before compute
     // starts; the group is occupied (busy, not retirable) while it waits.
-    const Seconds duration = jittered(group.main_time) +
-                             (month > 0 ? options_.restart_handoff : 0.0);
+    Seconds duration = jittered(group.main_time) +
+                       (month > 0 ? options_.restart_handoff : 0.0);
+    if (fault_active_ && scenario.needs_staging) {
+      // Migrate-with-state: the first month after a migration re-stages the
+      // scenario's restart state onto the new node set.
+      duration += options_.fault.migrate_staging;
+      scenario.needs_staging = false;
+    }
     const bool fails =
         options_.perturbation.failure_probability > 0.0 &&
         rng_.uniform() < options_.perturbation.failure_probability;
@@ -281,20 +390,33 @@ class EnsembleSimulation {
     const Seconds end = start + duration;
     // Failed attempts occupy the group but are not recorded: the trace
     // documents successful executions (its invariants assume uniqueness).
-    if (options_.capture_trace && !fails)
+    // Under fault injection the projected end may never happen (the month
+    // can be killed), so recording moves to finish_main.
+    if (options_.capture_trace && !fails && !fault_active_)
       result_.trace.record(
           TraceEntry{UnitKind::kGroup, g, s, month, start, end});
     if (options_.obs_trace != nullptr)
       emit_sim_event("s" + std::to_string(s) + " m" + std::to_string(month),
                      fails ? "retry" : "main", options_.obs_track_base + g,
                      start, end);
-    calendar_.schedule(
-        end, SimEvent{SimEvent::Kind::kMainDone, fails, g, s, month});
+    if (fault_active_) {
+      group.current_start = start;
+      group.current_end = end;
+      group.current_scenario = s;
+      group.current_month = month;
+    }
+    calendar_.schedule(end, SimEvent{SimEvent::Kind::kMainDone, fails, g, s,
+                                     month, group.epoch});
   }
 
-  void finish_main(int g, ScenarioId s, MonthIndex month, bool failed) {
+  void finish_main(int g, ScenarioId s, MonthIndex month, bool failed,
+                   std::uint32_t epoch) {
     Group& group = groups_[static_cast<std::size_t>(g)];
     Scenario& scenario = scenarios_[static_cast<std::size_t>(s)];
+    // Stale completion: the month was killed by an outage after this event
+    // was scheduled (the calendar has no removal; the epoch bump at kill
+    // time invalidates it).
+    if (fault_active_ && epoch != group.epoch) return;
     group.busy = false;
     scenario.running = false;
 
@@ -310,6 +432,16 @@ class EnsembleSimulation {
       ++result_.mains_executed;
       result_.main_phase_end =
           std::max(result_.main_phase_end, calendar_.now());
+      if (fault_active_) {
+        // Remember what the month cost so a later rewind can account the
+        // thrown-away work exactly, and record the actual execution window.
+        done_costs_[static_cast<std::size_t>(s)].push_back(
+            calendar_.now() - group.current_start);
+        if (options_.capture_trace)
+          result_.trace.record(TraceEntry{UnitKind::kGroup, g, s, month,
+                                          group.current_start,
+                                          calendar_.now()});
+      }
       post_queue_.push(PostTask{s, month});
       if (options_.progress_every > 0 && options_.on_progress &&
           months_done_total_ % options_.progress_every == 0)
@@ -341,7 +473,9 @@ class EnsembleSimulation {
   void maybe_retire_idle_groups() {
     if (months_dispatched_total_ < total_months()) return;
     for (auto& group : groups_) {
-      if (group.busy || group.retired) continue;
+      // A down group cannot retire: its processors are unavailable, not
+      // idle, and a rewind may still need it after repair.
+      if (group.busy || group.retired || group.down) continue;
       group.retired = true;
       if (schedule_.post_policy == sched::PostPolicy::kPoolThenRetired)
         for (ProcCount w = 0; w < group.size; ++w)
@@ -374,6 +508,102 @@ class EnsembleSimulation {
     last_post_end_ = std::max(last_post_end_, calendar_.now());
     free_workers_.push(worker);
     dispatch_posts();
+  }
+
+  /// Draws the group's next outage window at-or-after `t` and schedules its
+  /// kNodeDown; at most one outage per group is ever pending.
+  void schedule_next_outage(int g, Seconds t) {
+    const auto window = outage_streams_[static_cast<std::size_t>(g)].next(t);
+    if (!window.has_value()) return;
+    groups_[static_cast<std::size_t>(g)].pending_repair = window->duration;
+    calendar_.schedule(window->start,
+                       SimEvent{SimEvent::Kind::kNodeDown, false, g, 0, 0, 0});
+  }
+
+  void handle_node_down(int g) {
+    Group& group = groups_[static_cast<std::size_t>(g)];
+    // Once the main phase is over (or this group has retired into post
+    // workers) failures stop mattering: post tasks are minutes long and can
+    // run anywhere, so the simulation ignores late outages — this also
+    // guarantees the calendar drains.
+    if (group.retired || months_done_total_ == total_months()) return;
+    ++result_.fault.outages;
+    ++group.epoch;  // invalidates any in-flight kMainDone for this group
+    group.down = true;
+    const Seconds repair = group.pending_repair;
+    const bool permanent = repair >= kInfiniteTime;
+    if (!permanent) result_.fault.downtime_seconds += repair;
+    if (group.busy) kill_in_flight(g);
+    if (permanent) {
+      // The node set never comes back; release any scenario waiting on it
+      // so wait-for-repair cannot deadlock on dead hardware.
+      for (Scenario& sc : scenarios_)
+        if (sc.pinned_group == g) sc.pinned_group = -1;
+    } else {
+      calendar_.schedule(
+          calendar_.now() + repair,
+          SimEvent{SimEvent::Kind::kNodeUp, false, g, 0, 0, group.epoch});
+    }
+    // The killed scenario may reschedule onto another idle group right now.
+    dispatch_mains();
+  }
+
+  void handle_node_up(int g) {
+    Group& group = groups_[static_cast<std::size_t>(g)];
+    group.down = false;
+    if (!group.retired && months_done_total_ < total_months())
+      schedule_next_outage(g, calendar_.now());
+    dispatch_mains();
+  }
+
+  /// An outage caught group g mid-month: the month's work is lost and the
+  /// scenario rewinds to its last k-month restart checkpoint.
+  void kill_in_flight(int g) {
+    Group& group = groups_[static_cast<std::size_t>(g)];
+    const ScenarioId s = group.current_scenario;
+    Scenario& scenario = scenarios_[static_cast<std::size_t>(s)];
+    const Seconds now = calendar_.now();
+    ++result_.fault.kills;
+    result_.fault.lost_seconds += now - group.current_start;
+    // The start charged the whole projected duration; give back the part
+    // that never ran.
+    group.busy_seconds -= group.current_end - now;
+    group.busy = false;
+    scenario.running = false;
+    --scenario.months_dispatched;
+    --months_dispatched_total_;
+    // Rewind completed months past the checkpoint: restart files only exist
+    // every checkpoint_months months, so the in-between output is lost too.
+    const MonthIndex cadence = options_.fault.checkpoint_months;
+    const MonthIndex keep = (scenario.months_done / cadence) * cadence;
+    const MonthIndex rewound = scenario.months_done - keep;
+    if (rewound > 0) {
+      result_.fault.rewound_months += rewound;
+      auto& costs = done_costs_[static_cast<std::size_t>(s)];
+      for (MonthIndex i = 0; i < rewound; ++i) {
+        result_.fault.lost_seconds += costs.back();
+        costs.pop_back();
+      }
+      scenario.months_done = keep;
+      months_done_total_ -= rewound;
+      scenario.months_dispatched -= rewound;
+      months_dispatched_total_ -= rewound;
+    }
+    switch (options_.fault.recovery) {
+      case fault::RecoveryPolicy::kWaitForRepair:
+        scenario.pinned_group = g;
+        break;
+      case fault::RecoveryPolicy::kRescheduleInCluster:
+        break;
+      case fault::RecoveryPolicy::kMigrateWithState:
+        scenario.needs_staging = true;
+        break;
+    }
+    if (options_.obs_trace != nullptr)
+      emit_sim_event("s" + std::to_string(s) + " m" +
+                         std::to_string(group.current_month),
+                     "killed", options_.obs_track_base + g,
+                     group.current_start, now);
   }
 
   /// Simulated-time trace event: 1 trace microsecond per simulated second.
@@ -421,6 +651,13 @@ class EnsembleSimulation {
 
   Count months_dispatched_total_ = 0;
   Count months_done_total_ = 0;
+
+  const bool fault_active_ = false;
+  std::vector<fault::OutageStream> outage_streams_;  ///< one per group
+  /// Per-scenario cost of each completed month, in completion order; popped
+  /// on rewind for exact lost-work accounting. Maintained only under fault
+  /// injection.
+  std::vector<std::vector<Seconds>> done_costs_;
 
   FlatQueue<PostTask> post_queue_;
   FlatQueue<int> free_workers_;

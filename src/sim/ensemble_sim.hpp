@@ -19,6 +19,7 @@
 #include <string>
 
 #include "appmodel/ensemble.hpp"
+#include "fault/failure.hpp"
 #include "obs/trace.hpp"
 #include "platform/cluster.hpp"
 #include "sched/group_schedule.hpp"
@@ -54,10 +55,35 @@ struct PerturbationModel {
   }
 };
 
+/// Node-failure injection for one cluster's DES run. Unlike PerturbationModel
+/// (which fails individual task *executions*), this kills *node sets*: a
+/// down group's in-flight month dies, the scenario rewinds to its last
+/// k-month restart checkpoint, and the group stays unavailable until repair.
+struct FaultOptions {
+  const fault::FailureModel* model = nullptr;  ///< not owned; null = inactive
+  ClusterId cluster = 0;  ///< which cluster's process this run draws from
+  fault::RecoveryPolicy recovery = fault::RecoveryPolicy::kRescheduleInCluster;
+  /// Restart granularity: a killed scenario rewinds months_done to the last
+  /// multiple of this cadence (1 = the paper's monthly restart files).
+  MonthIndex checkpoint_months = 1;
+  /// Stall charged once to a migrated scenario's next month under
+  /// kMigrateWithState — the time to re-stage its restart state, priced by
+  /// net::NetworkModel at the call site.
+  Seconds migrate_staging = 0.0;
+
+  /// True when this run can actually see failures. An inactive FaultOptions
+  /// leaves the simulator on the exact pre-fault code path (bit-identical
+  /// results, no extra events).
+  [[nodiscard]] bool active() const noexcept {
+    return model != nullptr && model->cluster_active(cluster);
+  }
+};
+
 struct SimOptions {
   bool capture_trace = false;
   DispatchRule dispatch = DispatchRule::kLeastAdvanced;
   PerturbationModel perturbation;  ///< inactive by default (exact durations)
+  FaultOptions fault;              ///< node failures; inactive by default
 
   /// Inter-month restart hand-off: simulated seconds a group stalls before
   /// each main task of month > 0, fetching the previous month's ~120 MB
@@ -92,6 +118,7 @@ struct SimResult {
   std::size_t events = 0;
   /// Busy processor-seconds of the groups over makespan * allocated procs.
   double group_utilization = 0.0;
+  fault::FaultStats fault;  ///< lost-work accounting; zeros without failures
   Trace trace;  ///< populated only when SimOptions::capture_trace
 };
 

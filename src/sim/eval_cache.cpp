@@ -74,6 +74,7 @@ std::size_t EvalKeyHash::operator()(const EvalKey& key) const noexcept {
   h.f64(key.duration_jitter);
   h.f64(key.failure_probability);
   h.u64(key.seed);
+  h.u64(key.fault_sig);
   return static_cast<std::size_t>(h.state);
 }
 
@@ -103,6 +104,15 @@ EvalKey make_eval_key(const platform::Cluster& cluster,
     key.duration_jitter = options.perturbation.duration_jitter;
     key.failure_probability = options.perturbation.failure_probability;
     key.seed = options.perturbation.seed;
+  }
+  if (options.fault.active()) {
+    Fnv1a f;
+    f.u64(options.fault.model->signature());
+    f.i64(options.fault.cluster);
+    f.u64(static_cast<std::uint64_t>(options.fault.recovery));
+    f.i64(options.fault.checkpoint_months);
+    f.f64(options.fault.migrate_staging);
+    key.fault_sig = f.state;
   }
   return key;
 }

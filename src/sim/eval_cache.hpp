@@ -64,6 +64,11 @@ struct EvalKey {
   double duration_jitter = 0.0;
   double failure_probability = 0.0;
   std::uint64_t seed = 0;  ///< 0 whenever the perturbation model is inactive
+  /// Signature of the failure injection (model content + seed + cluster +
+  /// recovery policy + checkpoint cadence + staging cost); 0 whenever
+  /// FaultOptions is inactive, so a failure-run makespan can never be served
+  /// for a clean key or vice versa.
+  std::uint64_t fault_sig = 0;
 
   [[nodiscard]] bool operator==(const EvalKey&) const = default;
 };

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/rng.hpp"
+#include "fault/checkpoint.hpp"
 #include "sched/throughput.hpp"
 
 namespace oagrid::sim {
@@ -242,12 +243,25 @@ DynamicGridResult simulate_dynamic_grid(const platform::Grid& grid,
   if (drift.network.cluster_count() > 0)
     OAGRID_REQUIRE(drift.network.cluster_count() == grid.cluster_count(),
                    "network model does not cover the grid's clusters");
+  const bool failures_active = drift.failures.active();
+  if (failures_active)
+    OAGRID_REQUIRE(drift.failures.cluster_count() == grid.cluster_count(),
+                   "failure model does not cover the grid's clusters");
 
-  // Initial placement: Algorithm 1 on analytic vectors at nominal speed.
+  // Initial placement: Algorithm 1 on analytic vectors at nominal speed,
+  // inflated by each cluster's expected failure overhead so a permanently
+  // dead cluster receives no scenarios at all.
   std::vector<sched::PerformanceVector> perf;
   for (const auto& cluster : grid.clusters())
     perf.push_back(sched::throughput_performance_vector(
         cluster, ensemble.scenarios, ensemble.months));
+  if (failures_active)
+    for (std::size_t c = 0; c < perf.size(); ++c) {
+      const fault::FailureProcess& process =
+          drift.failures.process(static_cast<ClusterId>(c));
+      for (Seconds& entry : perf[c])
+        entry = fault::expected_makespan(entry, process, 0.0);
+    }
   const sched::Repartition placement =
       sched::greedy_repartition(perf, ensemble.scenarios);
 
@@ -260,6 +274,15 @@ DynamicGridResult simulate_dynamic_grid(const platform::Grid& grid,
 
   std::vector<double> speeds(clusters.size(), 1.0);
   Rng rng(drift.seed);
+
+  // Cluster-scope availability streams (unit 0 = the whole reservation in
+  // the fluid view); an epoch's effective speed is the drifted speed scaled
+  // by the fraction of the window the cluster is up.
+  std::vector<fault::AvailabilityTracker> availability;
+  if (failures_active)
+    for (std::size_t c = 0; c < clusters.size(); ++c)
+      availability.emplace_back(drift.failures, static_cast<ClusterId>(c), 0);
+  std::vector<double> effective(speeds);
 
   DynamicGridResult result;
   result.cluster_finish.assign(clusters.size(), 0.0);
@@ -276,15 +299,24 @@ DynamicGridResult simulate_dynamic_grid(const platform::Grid& grid,
     if (drift.sigma > 0.0)
       for (double& s : speeds)
         s = std::clamp(s * std::exp(rng.normal(0.0, drift.sigma)), 0.3, 3.0);
+    if (failures_active) {
+      for (std::size_t c = 0; c < clusters.size(); ++c)
+        effective[c] =
+            speeds[c] * (1.0 - availability[c].down_fraction(
+                                   now, now + drift.epoch_length));
+    } else {
+      effective = speeds;
+    }
 
     if (policy != GridPolicy::kStatic)
-      result.migrations +=
-          rebalance(clusters, speeds, policy == GridPolicy::kMigrateWithState,
-                    drift, result.migration_seconds);
+      result.migrations += rebalance(clusters, effective,
+                                     policy == GridPolicy::kMigrateWithState,
+                                     drift, result.migration_seconds);
 
     for (std::size_t c = 0; c < clusters.size(); ++c) {
       if (clusters[c].idle()) continue;
-      const double used = clusters[c].advance(drift.epoch_length, speeds[c]);
+      const double used =
+          clusters[c].advance(drift.epoch_length, effective[c]);
       if (clusters[c].idle()) result.cluster_finish[c] = now + used;
     }
     now += drift.epoch_length;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "appmodel/ensemble.hpp"
+#include "fault/failure.hpp"
 #include "net/network.hpp"
 #include "platform/grid.hpp"
 
@@ -118,6 +119,15 @@ struct DriftModel {
     return migration_deploy_seconds +
            network.transfer_time(src, dst, migration_state_mb);
   }
+
+  /// Cluster availability (cluster_count must match the grid when active;
+  /// default-constructed = always up). In the fluid limit an outage scales
+  /// the epoch's effective speed by the fraction of the window the cluster
+  /// was up, the initial Algorithm-1 placement is inflated by each cluster's
+  /// expected failure overhead (dead clusters receive nothing), and the
+  /// rebalancing policies see the degraded speeds — so migrate-with-state
+  /// naturally flees failing capacity.
+  fault::FailureModel failures;
 };
 
 struct DynamicGridResult {

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "fault/checkpoint.hpp"
 #include "net/fairshare.hpp"
 #include "obs/obs.hpp"
+#include "sim/ensemble_sim.hpp"
 #include "sim/perf_vector.hpp"
 
 namespace oagrid::sim {
@@ -39,7 +41,8 @@ GridNetworkOptions campaign_network_options(
 GridSimResult simulate_grid(const platform::Grid& grid,
                             const appmodel::Ensemble& ensemble,
                             sched::Heuristic heuristic, std::size_t threads,
-                            const GridNetworkOptions& net_options) {
+                            const GridNetworkOptions& net_options,
+                            const GridFaultOptions& fault_options) {
   ensemble.validate();
   OAGRID_REQUIRE(grid.cluster_count() >= 1, "grid needs at least one cluster");
   if (net_options.active()) {
@@ -51,6 +54,13 @@ GridSimResult simulate_grid(const platform::Grid& grid,
     OAGRID_REQUIRE(net_options.stage_mb_per_scenario >= 0.0 &&
                        net_options.collect_mb_per_scenario >= 0.0,
                    "transfer volumes must be >= 0");
+  }
+  if (fault_options.active()) {
+    OAGRID_REQUIRE(
+        fault_options.model.cluster_count() == grid.cluster_count(),
+        "failure model does not cover the grid's clusters");
+    OAGRID_REQUIRE(fault_options.checkpoint_months >= 1,
+                   "checkpoint cadence must be >= 1 month");
   }
 
   const bool observed = obs::enabled();
@@ -79,21 +89,80 @@ GridSimResult simulate_grid(const platform::Grid& grid,
   result.staging_seconds.assign(n, 0.0);
   result.collection_seconds.assign(n, 0.0);
 
-  if (!net_options.active()) {
-    result.repartition =
-        sched::greedy_repartition(result.performance, ensemble.scenarios);
-  } else {
-    // Algorithm 1, with each candidate cluster charged the serialized cost
-    // of moving its k scenarios' files over the home link.
-    const auto charge = [&](std::size_t c, Count k) -> Seconds {
+  // Algorithm 1, with each candidate cluster charged the serialized cost of
+  // moving its k scenarios' files over the home link (when a network is
+  // attached) plus its expected failure inflation (when a failure model is).
+  // Both charges absent -> the paper's uncharged greedy, bit for bit.
+  sched::PlacementCharge net_charge;
+  if (net_options.active()) {
+    net_charge = [&net_options](std::size_t c, Count k) -> Seconds {
       const auto dst = static_cast<ClusterId>(c);
       return batch_transfer_time(net_options.network, net_options.home, dst, k,
                                  net_options.stage_mb_per_scenario) +
              batch_transfer_time(net_options.network, dst, net_options.home, k,
                                  net_options.collect_mb_per_scenario);
     };
+  }
+  sched::PlacementCharge failure_charge;
+  if (fault_options.active() && fault_options.charge_placement)
+    failure_charge = fault::make_failure_charge(
+        fault_options.model, result.performance, ensemble.months,
+        fault_options.checkpoint_months);
+  if (!net_charge && !failure_charge) {
+    result.repartition =
+        sched::greedy_repartition(result.performance, ensemble.scenarios);
+  } else if (net_charge && failure_charge) {
+    const auto combined = [&net_charge, &failure_charge](std::size_t c,
+                                                         Count k) -> Seconds {
+      return net_charge(c, k) + failure_charge(c, k);
+    };
     result.repartition = sched::greedy_repartition_charged(
-        result.performance, ensemble.scenarios, charge);
+        result.performance, ensemble.scenarios, combined);
+  } else {
+    result.repartition = sched::greedy_repartition_charged(
+        result.performance, ensemble.scenarios,
+        net_charge ? net_charge : failure_charge);
+  }
+
+  // Per-cluster compute times: the clean performance-vector entry, replaced
+  // by a failure-injected DES run wherever the cluster can actually fail
+  // (elsewhere the substitution is the very same double, so an inactive
+  // model stays bit-identical).
+  const std::size_t cluster_n = static_cast<std::size_t>(grid.cluster_count());
+  std::vector<Seconds> compute(cluster_n, 0.0);
+  for (std::size_t c = 0; c < cluster_n; ++c) {
+    const Count k = result.repartition.dags_per_cluster[c];
+    if (k > 0)
+      compute[c] = result.performance[c][static_cast<std::size_t>(k) - 1];
+  }
+  if (fault_options.active()) {
+    std::vector<fault::FaultStats> stats(cluster_n);
+    parallel_for(
+        0, cluster_n,
+        [&](std::size_t c) {
+          const Count k = result.repartition.dags_per_cluster[c];
+          const auto cid = static_cast<ClusterId>(c);
+          if (k <= 0 || !fault_options.model.cluster_active(cid)) return;
+          const appmodel::Ensemble sub{k, ensemble.months};
+          const sched::GroupSchedule schedule =
+              sched::make_schedule(heuristic, grid.cluster(cid), sub);
+          SimOptions opts;
+          opts.fault.model = &fault_options.model;
+          opts.fault.cluster = cid;
+          opts.fault.recovery = fault_options.recovery;
+          opts.fault.checkpoint_months = fault_options.checkpoint_months;
+          // Migration re-staging ships the scenario's restart state from
+          // home again; free (0.0) when no network is attached.
+          if (net_options.active() && net_options.stage_mb_per_scenario > 0.0)
+            opts.fault.migrate_staging = net_options.network.transfer_time(
+                net_options.home, cid, net_options.stage_mb_per_scenario);
+          const SimResult r =
+              simulate_ensemble(grid.cluster(cid), schedule, sub, opts);
+          compute[c] = r.makespan;
+          stats[c] = r.fault;
+        },
+        threads);
+    for (const fault::FaultStats& s : stats) result.fault.merge(s);
   }
 
   if (net_options.active()) {
@@ -106,8 +175,6 @@ GridSimResult simulate_grid(const platform::Grid& grid,
       const Count k = result.repartition.dags_per_cluster[c];
       if (k <= 0) continue;
       const auto dst = static_cast<ClusterId>(c);
-      const Seconds compute =
-          result.performance[c][static_cast<std::size_t>(k) - 1];
       const Seconds staged = batch_transfer_time(
           net_options.network, net_options.home, dst, k,
           net_options.stage_mb_per_scenario);
@@ -118,7 +185,7 @@ GridSimResult simulate_grid(const platform::Grid& grid,
         if (net_options.collect_mb_per_scenario > 0.0)
           collection.push_back({dst, net_options.home,
                                 net_options.collect_mb_per_scenario,
-                                staged + compute});
+                                staged + compute[c]});
       }
     }
     const net::TransferPlan staged_plan =
@@ -131,8 +198,6 @@ GridSimResult simulate_grid(const platform::Grid& grid,
     for (std::size_t c = 0; c < n; ++c) {
       const Count k = result.repartition.dags_per_cluster[c];
       if (k <= 0) continue;
-      const Seconds compute =
-          result.performance[c][static_cast<std::size_t>(k) - 1];
       for (Count s = 0; s < k; ++s) {
         if (net_options.stage_mb_per_scenario > 0.0)
           result.staging_seconds[c] = std::max(
@@ -141,7 +206,7 @@ GridSimResult simulate_grid(const platform::Grid& grid,
           result.collection_seconds[c] =
               std::max(result.collection_seconds[c],
                        collected_plan.results[ci++].finish -
-                           (result.staging_seconds[c] + compute));
+                           (result.staging_seconds[c] + compute[c]));
       }
       result.collection_seconds[c] = std::max(result.collection_seconds[c], 0.0);
     }
@@ -151,10 +216,8 @@ GridSimResult simulate_grid(const platform::Grid& grid,
   for (std::size_t c = 0; c < n; ++c) {
     const Count k = result.repartition.dags_per_cluster[c];
     if (k > 0)
-      result.cluster_makespans[c] =
-          result.staging_seconds[c] +
-          result.performance[c][static_cast<std::size_t>(k) - 1] +
-          result.collection_seconds[c];
+      result.cluster_makespans[c] = result.staging_seconds[c] + compute[c] +
+                                    result.collection_seconds[c];
   }
   result.makespan = 0.0;
   for (const Seconds m : result.cluster_makespans)

@@ -6,6 +6,7 @@
 
 #include "appmodel/ensemble.hpp"
 #include "appmodel/volumes.hpp"
+#include "fault/failure.hpp"
 #include "net/network.hpp"
 #include "platform/grid.hpp"
 #include "sched/heuristics.hpp"
@@ -44,6 +45,26 @@ struct GridNetworkOptions {
     net::NetworkModel network, const appmodel::Ensemble& ensemble,
     const appmodel::VolumeParams& volumes = {}, ClusterId home = 0);
 
+/// Failure injection for a grid campaign. The default (0-cluster model) is
+/// the paper's failure-free world: the repartition and every makespan are
+/// then bit-identical to the fault-unaware path.
+struct GridFaultOptions {
+  /// Per-cluster availability description (cluster_count must match the
+  /// grid when active). Default-constructed = no failures.
+  fault::FailureModel model;
+  fault::RecoveryPolicy recovery = fault::RecoveryPolicy::kRescheduleInCluster;
+  /// Restart-file cadence used both by the rewind semantics and by the
+  /// expected-makespan placement charge.
+  MonthIndex checkpoint_months = 1;
+  /// Also fold the expected failure inflation into Algorithm 1's candidate
+  /// comparison (expected-makespan-under-failures placement charge), so
+  /// unreliable clusters receive proportionally less work and dead ones
+  /// receive none.
+  bool charge_placement = true;
+
+  [[nodiscard]] bool active() const noexcept { return model.active(); }
+};
+
 struct GridSimResult {
   std::vector<sched::PerformanceVector> performance;  ///< one per cluster
   sched::Repartition repartition;
@@ -56,6 +77,10 @@ struct GridSimResult {
   std::vector<Seconds> staging_seconds;     ///< per cluster, fair-shared
   std::vector<Seconds> collection_seconds;  ///< per cluster, fair-shared
   double transfer_mb = 0.0;                 ///< total bytes moved
+
+  /// Aggregated lost-work accounting over the per-cluster failure-injected
+  /// DES runs; all zeros when GridFaultOptions is inactive.
+  fault::FaultStats fault;
 };
 
 /// Full §5 flow in-process: (2) each cluster computes its performance vector
@@ -64,9 +89,17 @@ struct GridSimResult {
 /// files when a network is attached, (6) each cluster's makespan is its
 /// staging delay + vector entry + collection time; the grid makespan is the
 /// max. Set `threads` > 1 to compute the per-cluster vectors concurrently.
+///
+/// With active `fault_options`, Algorithm 1 additionally charges each
+/// candidate its expected failure inflation, and every cluster with a live
+/// failure process replaces its performance-vector entry by a full
+/// failure-injected DES run (outages, kills, k-month rewinds, the chosen
+/// recovery policy; migration staging priced over the network when one is
+/// attached). Deterministic in the model seed at any thread count.
 [[nodiscard]] GridSimResult simulate_grid(
     const platform::Grid& grid, const appmodel::Ensemble& ensemble,
     sched::Heuristic heuristic, std::size_t threads = 1,
-    const GridNetworkOptions& net_options = {});
+    const GridNetworkOptions& net_options = {},
+    const GridFaultOptions& fault_options = {});
 
 }  // namespace oagrid::sim

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fault/checkpoint.hpp"
+#include "fault/failure.hpp"
+#include "platform/profiles.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/ensemble_sim.hpp"
+#include "sim/fluid_grid.hpp"
+#include "sim/grid_sim.hpp"
+
+namespace oagrid::sim {
+namespace {
+
+using appmodel::Ensemble;
+
+const Ensemble kEnsemble{6, 24};
+
+sim::SimOptions fault_options(const fault::FailureModel& model,
+                              fault::RecoveryPolicy recovery =
+                                  fault::RecoveryPolicy::kRescheduleInCluster,
+                              MonthIndex checkpoint_months = 1) {
+  SimOptions options;
+  options.fault.model = &model;
+  options.fault.cluster = 0;
+  options.fault.recovery = recovery;
+  options.fault.checkpoint_months = checkpoint_months;
+  return options;
+}
+
+// --- the acceptance-criteria gate: a zero-failure model is bit-identical ---
+
+TEST(FaultSim, InactiveModelIsBitIdenticalOnEnsemble) {
+  const auto cluster = platform::make_builtin_cluster(1, 34);
+  const auto schedule = sched::knapsack_grouping(cluster, kEnsemble);
+  const SimResult clean = simulate_ensemble(cluster, schedule, kEnsemble);
+
+  const fault::FailureModel inactive(1);  // present but no process anywhere
+  const SimResult gated =
+      simulate_ensemble(cluster, schedule, kEnsemble, fault_options(inactive));
+
+  EXPECT_EQ(gated.makespan, clean.makespan);  // exact, not NEAR
+  EXPECT_EQ(gated.main_phase_end, clean.main_phase_end);
+  EXPECT_EQ(gated.mains_executed, clean.mains_executed);
+  EXPECT_EQ(gated.posts_executed, clean.posts_executed);
+  EXPECT_EQ(gated.events, clean.events);
+  EXPECT_EQ(gated.group_utilization, clean.group_utilization);
+  EXPECT_EQ(gated.fault.outages, 0);
+  EXPECT_EQ(gated.fault.kills, 0);
+  EXPECT_EQ(gated.fault.lost_seconds, 0.0);
+}
+
+TEST(FaultSim, InactiveModelIsBitIdenticalOnGrid) {
+  const auto grid = platform::make_builtin_grid(25).prefix(3);
+  const GridSimResult clean =
+      simulate_grid(grid, kEnsemble, sched::Heuristic::kKnapsack);
+
+  GridFaultOptions fault;
+  fault.model = fault::FailureModel(grid.cluster_count());
+  const GridSimResult gated = simulate_grid(
+      grid, kEnsemble, sched::Heuristic::kKnapsack, 1, {}, fault);
+
+  EXPECT_EQ(gated.makespan, clean.makespan);
+  ASSERT_EQ(gated.cluster_makespans.size(), clean.cluster_makespans.size());
+  for (std::size_t c = 0; c < clean.cluster_makespans.size(); ++c)
+    EXPECT_EQ(gated.cluster_makespans[c], clean.cluster_makespans[c]);
+  EXPECT_EQ(gated.repartition.dags_per_cluster,
+            clean.repartition.dags_per_cluster);
+  EXPECT_EQ(gated.fault.outages, 0);
+}
+
+TEST(FaultSim, InactiveModelIsBitIdenticalOnDynamicGrid) {
+  const auto grid = platform::make_builtin_grid(25).prefix(3);
+  DriftModel drift;
+  drift.sigma = 0.08;
+  const DynamicGridResult clean =
+      simulate_dynamic_grid(grid, kEnsemble, GridPolicy::kStatic, drift);
+
+  DriftModel gated_drift = drift;
+  gated_drift.failures = fault::FailureModel(grid.cluster_count());
+  const DynamicGridResult gated =
+      simulate_dynamic_grid(grid, kEnsemble, GridPolicy::kStatic, gated_drift);
+
+  EXPECT_EQ(gated.makespan, clean.makespan);
+  EXPECT_EQ(gated.epochs, clean.epochs);
+  ASSERT_EQ(gated.cluster_finish.size(), clean.cluster_finish.size());
+  for (std::size_t c = 0; c < clean.cluster_finish.size(); ++c)
+    EXPECT_EQ(gated.cluster_finish[c], clean.cluster_finish[c]);
+}
+
+// --- determinism of injected runs ------------------------------------------
+
+TEST(FaultSim, InjectedRunIsDeterministicAcrossRuns) {
+  const auto cluster = platform::make_builtin_cluster(1, 34);
+  const auto schedule = sched::knapsack_grouping(cluster, kEnsemble);
+  const auto model = fault::FailureModel::uniform_exponential(1, 40000.0,
+                                                              2000.0, 7);
+
+  const SimResult a =
+      simulate_ensemble(cluster, schedule, kEnsemble, fault_options(model));
+  const SimResult b =
+      simulate_ensemble(cluster, schedule, kEnsemble, fault_options(model));
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.fault.outages, b.fault.outages);
+  EXPECT_EQ(a.fault.kills, b.fault.kills);
+  EXPECT_EQ(a.fault.lost_seconds, b.fault.lost_seconds);
+
+  // A different seed sees different outages.
+  auto reseeded = model;
+  reseeded.set_seed(8);
+  const SimResult c =
+      simulate_ensemble(cluster, schedule, kEnsemble, fault_options(reseeded));
+  EXPECT_NE(a.makespan, c.makespan);
+}
+
+TEST(FaultSim, GridInjectionIsThreadCountInvariant) {
+  const auto grid = platform::make_builtin_grid(25).prefix(3);
+  GridFaultOptions fault;
+  fault.model = fault::FailureModel::uniform_exponential(grid.cluster_count(),
+                                                         60000.0, 3000.0, 11);
+  const GridSimResult serial = simulate_grid(
+      grid, kEnsemble, sched::Heuristic::kKnapsack, 1, {}, fault);
+  const GridSimResult parallel = simulate_grid(
+      grid, kEnsemble, sched::Heuristic::kKnapsack, 4, {}, fault);
+
+  EXPECT_EQ(serial.makespan, parallel.makespan);
+  ASSERT_EQ(serial.cluster_makespans.size(), parallel.cluster_makespans.size());
+  for (std::size_t c = 0; c < serial.cluster_makespans.size(); ++c)
+    EXPECT_EQ(serial.cluster_makespans[c], parallel.cluster_makespans[c]);
+  EXPECT_EQ(serial.fault.kills, parallel.fault.kills);
+  EXPECT_EQ(serial.fault.lost_seconds, parallel.fault.lost_seconds);
+}
+
+// --- outage semantics -------------------------------------------------------
+
+TEST(FaultSim, TraceOutageKillsInFlightMonths) {
+  const auto cluster = platform::make_builtin_cluster(1, 34);
+  const auto schedule = sched::knapsack_grouping(cluster, kEnsemble);
+  const SimResult clean = simulate_ensemble(cluster, schedule, kEnsemble);
+
+  // One cluster-wide window in the middle of the run hits every group.
+  fault::FailureModel model(1);
+  model.add_outage(0, clean.makespan / 2.0, 1800.0);
+  const SimResult hit =
+      simulate_ensemble(cluster, schedule, kEnsemble, fault_options(model));
+
+  EXPECT_GT(hit.fault.outages, 0);
+  EXPECT_GT(hit.fault.kills, 0);
+  EXPECT_GT(hit.fault.lost_seconds, 0.0);
+  EXPECT_GT(hit.fault.downtime_seconds, 0.0);
+  EXPECT_GT(hit.makespan, clean.makespan);
+  // Work conservation: every month still completes exactly once.
+  EXPECT_EQ(hit.mains_executed, clean.mains_executed);
+  EXPECT_EQ(hit.posts_executed, clean.posts_executed);
+}
+
+TEST(FaultSim, OutageAfterCompletionChangesNothing) {
+  const auto cluster = platform::make_builtin_cluster(1, 34);
+  const auto schedule = sched::knapsack_grouping(cluster, kEnsemble);
+  const SimResult clean = simulate_ensemble(cluster, schedule, kEnsemble);
+
+  fault::FailureModel model(1);
+  model.add_outage(0, clean.makespan + 1000.0, 3600.0);
+  const SimResult after =
+      simulate_ensemble(cluster, schedule, kEnsemble, fault_options(model));
+  EXPECT_EQ(after.makespan, clean.makespan);
+  EXPECT_EQ(after.fault.kills, 0);
+}
+
+TEST(FaultSim, CheckpointCadenceControlsRewind) {
+  const auto cluster = platform::make_builtin_cluster(1, 34);
+  const auto schedule = sched::knapsack_grouping(cluster, kEnsemble);
+  const SimResult clean = simulate_ensemble(cluster, schedule, kEnsemble);
+
+  fault::FailureModel model(1);
+  model.add_outage(0, clean.makespan / 2.0, 1800.0);
+
+  // Monthly restart files (the paper's world): nothing completed is lost.
+  const SimResult monthly = simulate_ensemble(
+      cluster, schedule, kEnsemble,
+      fault_options(model, fault::RecoveryPolicy::kRescheduleInCluster, 1));
+  EXPECT_EQ(monthly.fault.rewound_months, 0);
+
+  // Sparse checkpoints: killed scenarios roll back to the last multiple of 6.
+  const SimResult sparse = simulate_ensemble(
+      cluster, schedule, kEnsemble,
+      fault_options(model, fault::RecoveryPolicy::kRescheduleInCluster, 6));
+  EXPECT_GT(sparse.fault.rewound_months, 0);
+  EXPECT_GE(sparse.makespan, monthly.makespan);
+  EXPECT_GT(sparse.fault.lost_seconds, monthly.fault.lost_seconds);
+}
+
+TEST(FaultSim, RecoveryPoliciesAllCompleteTheWorkload) {
+  const auto cluster = platform::make_builtin_cluster(1, 34);
+  const auto schedule = sched::knapsack_grouping(cluster, kEnsemble);
+  const SimResult clean = simulate_ensemble(cluster, schedule, kEnsemble);
+  const auto model =
+      fault::FailureModel::uniform_exponential(1, 30000.0, 1500.0, 3);
+
+  for (const fault::RecoveryPolicy policy :
+       {fault::RecoveryPolicy::kWaitForRepair,
+        fault::RecoveryPolicy::kRescheduleInCluster,
+        fault::RecoveryPolicy::kMigrateWithState}) {
+    SimOptions options = fault_options(model, policy);
+    options.fault.migrate_staging =
+        policy == fault::RecoveryPolicy::kMigrateWithState ? 120.0 : 0.0;
+    const SimResult r = simulate_ensemble(cluster, schedule, kEnsemble, options);
+    EXPECT_EQ(r.mains_executed, clean.mains_executed)
+        << fault::to_string(policy);
+    EXPECT_EQ(r.posts_executed, clean.posts_executed)
+        << fault::to_string(policy);
+    EXPECT_GT(r.fault.kills, 0) << fault::to_string(policy);
+    EXPECT_GT(r.makespan, clean.makespan) << fault::to_string(policy);
+    EXPECT_LT(r.makespan, fault::kUnavailableTime) << fault::to_string(policy);
+  }
+}
+
+TEST(FaultSim, MigrateStagingIsChargedOnTopOfReschedule) {
+  const auto cluster = platform::make_builtin_cluster(1, 34);
+  const auto schedule = sched::knapsack_grouping(cluster, kEnsemble);
+  const auto model =
+      fault::FailureModel::uniform_exponential(1, 30000.0, 1500.0, 3);
+
+  SimOptions migrate =
+      fault_options(model, fault::RecoveryPolicy::kMigrateWithState);
+  migrate.fault.migrate_staging = 600.0;
+  SimOptions free_migrate =
+      fault_options(model, fault::RecoveryPolicy::kMigrateWithState);
+  free_migrate.fault.migrate_staging = 0.0;
+
+  const SimResult paid = simulate_ensemble(cluster, schedule, kEnsemble, migrate);
+  const SimResult free =
+      simulate_ensemble(cluster, schedule, kEnsemble, free_migrate);
+  EXPECT_GE(paid.makespan, free.makespan);
+}
+
+TEST(FaultSim, PermanentlyDownClusterNeverFinishes) {
+  const auto cluster = platform::make_builtin_cluster(1, 34);
+  const auto schedule = sched::knapsack_grouping(cluster, kEnsemble);
+  fault::FailureModel model(1);
+  model.set_down(0);
+  const SimResult r =
+      simulate_ensemble(cluster, schedule, kEnsemble, fault_options(model));
+  EXPECT_EQ(r.makespan, fault::kUnavailableTime);
+}
+
+// --- grid-level placement under failures ------------------------------------
+
+TEST(FaultSim, DeadClusterReceivesNoScenarios) {
+  const auto grid = platform::make_builtin_grid(25).prefix(3);
+  GridFaultOptions fault;
+  fault.model = fault::FailureModel(grid.cluster_count());
+  fault.model.set_down(1);
+  const GridSimResult r = simulate_grid(
+      grid, kEnsemble, sched::Heuristic::kKnapsack, 1, {}, fault);
+
+  EXPECT_EQ(r.repartition.dags_per_cluster[1], 0);
+  EXPECT_EQ(r.repartition.total_dags(), kEnsemble.scenarios);
+  EXPECT_LT(r.makespan, fault::kUnavailableTime);
+  EXPECT_EQ(r.cluster_makespans[1], 0.0);
+}
+
+TEST(FaultSim, UnreliableClusterIsChargedByPlacement) {
+  const auto grid = platform::make_builtin_grid(25).prefix(2);
+  const GridSimResult clean =
+      simulate_grid(grid, Ensemble{10, 24}, sched::Heuristic::kKnapsack);
+
+  // Make cluster 0 (the fastest) very unreliable: the expected-makespan
+  // charge should shift work toward the reliable cluster 1.
+  GridFaultOptions fault;
+  fault.model = fault::FailureModel(grid.cluster_count());
+  fault.model.set_exponential(0, 4000.0, 4000.0);
+  const GridSimResult charged = simulate_grid(
+      grid, Ensemble{10, 24}, sched::Heuristic::kKnapsack, 1, {}, fault);
+
+  EXPECT_LE(charged.repartition.dags_per_cluster[0],
+            clean.repartition.dags_per_cluster[0]);
+  EXPECT_GE(charged.repartition.dags_per_cluster[1],
+            clean.repartition.dags_per_cluster[1]);
+  EXPECT_GT(charged.fault.outages, 0);
+}
+
+TEST(FaultSim, DynamicGridFailuresInflateMakespan) {
+  const auto grid = platform::make_builtin_grid(25).prefix(3);
+  DriftModel clean_drift;
+  const DynamicGridResult clean =
+      simulate_dynamic_grid(grid, kEnsemble, GridPolicy::kStatic, clean_drift);
+
+  // A grid-wide maintenance window mid-run: every cluster loses an hour, so
+  // whichever cluster is binding, the fluid drains strictly later.
+  DriftModel drift;
+  drift.failures = fault::FailureModel(grid.cluster_count());
+  for (ClusterId c = 0; c < grid.cluster_count(); ++c)
+    drift.failures.add_outage(c, clean.makespan / 2.0, 3600.0);
+  const DynamicGridResult faulty =
+      simulate_dynamic_grid(grid, kEnsemble, GridPolicy::kStatic, drift);
+  EXPECT_GT(faulty.makespan, clean.makespan);
+
+  // Same seed twice -> same fluid trajectory.
+  const DynamicGridResult again =
+      simulate_dynamic_grid(grid, kEnsemble, GridPolicy::kStatic, drift);
+  EXPECT_EQ(faulty.makespan, again.makespan);
+}
+
+}  // namespace
+}  // namespace oagrid::sim

@@ -27,6 +27,8 @@
 #include "common/argparse.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/parser.hpp"
 #include "middleware/client.hpp"
 #include "middleware/local_agent.hpp"
 #include "middleware/master_agent.hpp"
@@ -36,6 +38,7 @@
 #include "platform/profiles.hpp"
 #include "sched/lower_bounds.hpp"
 #include "sched/makespan_model.hpp"
+#include "sched/throughput.hpp"
 #include "sim/ensemble_sim.hpp"
 #include "sim/eval_cache.hpp"
 #include "sim/exporters.hpp"
@@ -142,6 +145,81 @@ std::optional<net::NetworkModel> network_from(const ArgParser& args,
         "network file covers " + std::to_string(model.cluster_count()) +
         " cluster(s), the platform has " + std::to_string(clusters));
   return model;
+}
+
+/// Declares the failure-injection flag set shared by the simulate / grid /
+/// sweep / dynamic / serve subcommands.
+void add_fault_options(ArgParser& args) {
+  args.add_optional_value(
+          "failures",
+          "inject cluster failures: =FILE parses a failure trace "
+          "(see docs/fault.md), bare flag draws exponential outages from "
+          "--mtbf/--mttr on every cluster",
+          "")
+      .add_option("mtbf", "mean time between failures [s] (bare --failures)",
+                  "86400")
+      .add_option("mttr", "mean time to repair [s] (bare --failures)", "3600")
+      .add_option("recovery", "recovery policy: wait | reschedule | migrate",
+                  "reschedule")
+      .add_option("checkpoint-months",
+                  "restart-file retention cadence in months (0 = Young/Daly "
+                  "automatic)",
+                  "1")
+      .add_option("fault-seed", "failure-model seed (bare --failures)", "1");
+}
+
+/// The failure model selected by --failures, sized to `clusters`, or nullopt
+/// when the flag is absent.
+std::optional<fault::FailureModel> fault_model_from(const ArgParser& args,
+                                                    int clusters) {
+  if (!args.flag("failures")) return std::nullopt;
+  const std::string file = args.get("failures");
+  if (file.empty())
+    return fault::FailureModel::uniform_exponential(
+        clusters, args.get_double("mtbf"), args.get_double("mttr"),
+        static_cast<std::uint64_t>(args.get_int("fault-seed")));
+  std::ifstream in(file);
+  if (!in) throw std::invalid_argument("cannot open " + file);
+  fault::FailureModel model = fault::parse_failures(in);
+  if (model.cluster_count() != clusters)
+    throw std::invalid_argument(
+        "failure file covers " + std::to_string(model.cluster_count()) +
+        " cluster(s), the platform has " + std::to_string(clusters));
+  return model;
+}
+
+/// Resolves --checkpoint-months. 0 asks for the Young/Daly optimum against
+/// the most failure-prone stochastic cluster, with `checkpoint_cost` the
+/// price of keeping one restart (the hand-off transfer when a network is
+/// attached) — free checkpoints round down to the monthly cadence, which is
+/// exactly the application's natural behaviour.
+MonthIndex checkpoint_cadence_from(const ArgParser& args,
+                                   const fault::FailureModel& model,
+                                   Seconds month_seconds,
+                                   MonthIndex max_months,
+                                   Seconds checkpoint_cost) {
+  if (const long long k = args.get_int("checkpoint-months"); k > 0)
+    return static_cast<MonthIndex>(k);
+  Seconds mtbf = 0.0;
+  for (ClusterId c = 0; c < model.cluster_count(); ++c) {
+    const fault::FailureProcess& process = model.process(c);
+    const bool stochastic =
+        process.kind == fault::ProcessKind::kExponential ||
+        process.kind == fault::ProcessKind::kWeibull;
+    if (stochastic && (mtbf == 0.0 || process.mtbf < mtbf))
+      mtbf = process.mtbf;
+  }
+  if (mtbf <= 0.0) return 1;  // trace-only or dead: keep every restart
+  return fault::optimal_checkpoint_months(month_seconds, checkpoint_cost,
+                                          mtbf, max_months);
+}
+
+void print_fault_stats(const fault::FaultStats& stats) {
+  std::cout << "failures:  " << stats.outages << " outages, " << stats.kills
+            << " in-flight kills, " << stats.rewound_months
+            << " months rewound, " << fmt(stats.lost_seconds, 0)
+            << " s of work lost, " << fmt(stats.downtime_seconds, 0)
+            << " s of downtime\n";
 }
 
 sched::Heuristic heuristic_from(const std::string& name) {
@@ -298,7 +376,7 @@ int cmd_simulate(const std::vector<std::string>& argv) {
   args.add_option("heuristic", "basic | redistribute | all-for-main | knapsack",
                   "knapsack")
       .add_option("jitter", "duration noise (stddev of ln factor)", "0")
-      .add_option("failures", "per-task failure probability", "0")
+      .add_option("task-failures", "per-task failure probability", "0")
       .add_option("seed", "perturbation seed", "1")
       .add_option("trace-csv", "write the execution trace to this file", "")
       .add_option("svg", "write an SVG Gantt chart to this file", "")
@@ -316,6 +394,7 @@ int cmd_simulate(const std::vector<std::string>& argv) {
                   "0")
       .add_flag("gantt", "print an ASCII Gantt chart")
       .add_flag("optimize", "refine the grouping with local search first");
+  add_fault_options(args);
   add_net_options(args);
   add_obs_options(args);
   args.parse(argv);
@@ -324,6 +403,10 @@ int cmd_simulate(const std::vector<std::string>& argv) {
   const appmodel::Ensemble ensemble{args.get_int("scenarios"),
                                     args.get_int("months")};
   if (const long long clusters = args.get_int("clusters"); clusters > 1) {
+    if (args.flag("failures"))
+      throw std::invalid_argument(
+          "--failures with --clusters N>1 is not supported here; use "
+          "`oagrid_cli grid --failures` for whole-grid failure injection");
     const platform::Grid grid =
         platform::make_builtin_grid(
             static_cast<ProcCount>(args.get_int("resources")))
@@ -356,7 +439,7 @@ int cmd_simulate(const std::vector<std::string>& argv) {
                           !args.get("trace-csv").empty() ||
                           !args.get("svg").empty();
   options.perturbation.duration_jitter = args.get_double("jitter");
-  options.perturbation.failure_probability = args.get_double("failures");
+  options.perturbation.failure_probability = args.get_double("task-failures");
   options.perturbation.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   if (const auto network = network_from(args, 1)) {
     // Single cluster: the network prices the inter-month restart hand-off
@@ -370,17 +453,40 @@ int cmd_simulate(const std::vector<std::string>& argv) {
     options.obs_trace = &obs::trace_buffer();
     options.obs_label = cluster.name();
   }
+  const auto failure_model = fault_model_from(args, 1);
+  if (failure_model) {
+    options.fault.model = &*failure_model;
+    options.fault.cluster = 0;
+    options.fault.recovery = fault::recovery_policy_from(args.get("recovery"));
+    // One scenario advances at 1/NS of the cluster's best throughput; that
+    // wall time per month is what Young/Daly weighs the checkpoint against.
+    const Seconds month_seconds =
+        static_cast<double>(ensemble.scenarios) /
+        sched::best_throughput(cluster, ensemble.scenarios);
+    options.fault.checkpoint_months = checkpoint_cadence_from(
+        args, *failure_model, month_seconds, static_cast<MonthIndex>(ensemble.months),
+        options.restart_handoff);
+    options.fault.migrate_staging = options.restart_handoff;
+    std::cout << "failure injection: recovery=" << args.get("recovery")
+              << ", checkpoint every " << options.fault.checkpoint_months
+              << " month(s)\n";
+  }
 
   const sim::SimResult result =
       sim::simulate_ensemble(cluster, schedule, ensemble, options);
   std::cout << "grouping:  " << schedule.describe() << "\n";
-  std::cout << "makespan:  " << fmt(result.makespan, 1) << " s ("
-            << fmt_duration(result.makespan) << ")\n";
+  if (options.fault.active() && result.makespan >= fault::kUnavailableTime)
+    std::cout << "makespan:  unavailable (the campaign cannot complete "
+                 "under this failure model)\n";
+  else
+    std::cout << "makespan:  " << fmt(result.makespan, 1) << " s ("
+              << fmt_duration(result.makespan) << ")\n";
   std::cout << "tasks:     " << result.mains_executed << " mains, "
             << result.posts_executed << " posts, " << result.retries
             << " retries\n";
   std::cout << "group utilization: " << fmt(100.0 * result.group_utilization, 1)
             << "%\n";
+  if (options.fault.active()) print_fault_stats(result.fault);
   if (options.capture_trace && result.retries == 0) {
     const sim::TraceStats stats = sim::analyze_trace(result.trace);
     std::cout << "post latency:      mean " << fmt(stats.mean_post_latency, 1)
@@ -426,6 +532,7 @@ int cmd_dynamic(const std::vector<std::string>& argv) {
           "price migrations over a network model: =FILE parses a "
           "description, bare flag uses the built-in RENATER profile",
           "");
+  add_fault_options(args);
   args.parse(argv);
 
   const auto grid =
@@ -434,6 +541,7 @@ int cmd_dynamic(const std::vector<std::string>& argv) {
   const appmodel::Ensemble ensemble{args.get_int("scenarios"),
                                     args.get_int("months")};
   const auto network = network_from(args, grid.cluster_count());
+  const auto failure_model = fault_model_from(args, grid.cluster_count());
   TableWriter table({"policy", "mean makespan", "human", "mean migrations",
                      "mean migr [s]"});
   for (const auto policy :
@@ -448,6 +556,7 @@ int cmd_dynamic(const std::vector<std::string>& argv) {
       drift.migration_cost_override = args.get_double("cost");
       drift.migration_state_mb = args.get_double("state-mb");
       if (network) drift.network = *network;
+      if (failure_model) drift.failures = *failure_model;
       drift.seed = static_cast<std::uint64_t>(seed);
       const auto result = simulate_dynamic_grid(grid, ensemble, policy, drift);
       total += result.makespan;
@@ -513,6 +622,7 @@ int cmd_grid(const std::vector<std::string>& argv) {
                   "forever]",
                   "0")
       .add_flag("hierarchy", "deploy a DIET-style Local Agent tree");
+  add_fault_options(args);
   add_net_options(args);
   add_obs_options(args);
   args.parse(argv);
@@ -532,6 +642,52 @@ int cmd_grid(const std::vector<std::string>& argv) {
   const appmodel::Ensemble ensemble{args.get_int("scenarios"),
                                     args.get_int("months")};
   const auto heuristic = heuristic_from(args.get("heuristic"));
+
+  if (const auto failure_model = fault_model_from(args, grid.cluster_count())) {
+    // The middleware protocol is failure-oblivious; injection runs the same
+    // §5 flow in-process where the per-cluster DES can kill and rewind work.
+    const ClusterId home = static_cast<ClusterId>(args.get_int("home"));
+    sim::GridFaultOptions fault_options;
+    fault_options.model = *failure_model;
+    fault_options.recovery = fault::recovery_policy_from(args.get("recovery"));
+    const Seconds month_seconds =
+        static_cast<double>(ensemble.scenarios) /
+        sched::best_throughput(grid.cluster(home), ensemble.scenarios);
+    fault_options.checkpoint_months = checkpoint_cadence_from(
+        args, *failure_model, month_seconds, static_cast<MonthIndex>(ensemble.months), 0.0);
+    sim::GridNetworkOptions net_options;
+    if (const auto network = network_from(args, grid.cluster_count()))
+      net_options = sim::campaign_network_options(*network, ensemble, {}, home);
+    std::cout << "failure injection: recovery=" << args.get("recovery")
+              << ", checkpoint every " << fault_options.checkpoint_months
+              << " month(s)\n\n";
+    const sim::GridSimResult result = sim::simulate_grid(
+        grid, ensemble, heuristic, 1, net_options, fault_options);
+
+    TableWriter table({"cluster", "procs", "scenarios", "makespan", "human"});
+    for (ClusterId c = 0; c < grid.cluster_count(); ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      const Seconds ms = result.cluster_makespans[ci];
+      const bool unavailable = ms >= fault::kUnavailableTime;
+      table.add_row({grid.cluster(c).name(),
+                     std::to_string(grid.cluster(c).resources()),
+                     std::to_string(result.repartition.dags_per_cluster[ci]),
+                     unavailable ? "unavailable" : fmt(ms, 0),
+                     unavailable ? "-" : fmt_duration(ms)});
+    }
+    table.print(std::cout);
+    if (result.transfer_mb > 0.0)
+      std::cout << "\ndata moved: " << fmt(result.transfer_mb, 0) << " MB";
+    if (result.makespan >= fault::kUnavailableTime)
+      std::cout << "\ncampaign makespan: unavailable (some placed work can "
+                   "never complete under this failure model)\n";
+    else
+      std::cout << "\ncampaign makespan: " << fmt_duration(result.makespan)
+                << "\n";
+    print_fault_stats(result.fault);
+    obs_session.finish();
+    return 0;
+  }
 
   std::unique_ptr<middleware::Deployment> deployment;
   if (args.flag("hierarchy")) {
@@ -562,6 +718,7 @@ int cmd_sweep(const std::vector<std::string>& argv) {
       .add_option("threads", "worker cap for the parallel sweep (0 = all)",
                   "0")
       .add_flag("csv", "emit CSV instead of an aligned table");
+  add_fault_options(args);
   add_net_options(args);
   add_obs_options(args);
   args.parse(argv);
@@ -578,6 +735,24 @@ int cmd_sweep(const std::vector<std::string>& argv) {
        r += args.get_int("step"))
     resource_grid.push_back(static_cast<ProcCount>(r));
   const int profile = static_cast<int>(args.get_int("profile"));
+  const auto failure_model = fault_model_from(args, 1);
+  if (failure_model && !resource_grid.empty()) {
+    sweep_options.fault.model = &*failure_model;
+    sweep_options.fault.cluster = 0;
+    sweep_options.fault.recovery =
+        fault::recovery_policy_from(args.get("recovery"));
+    // The automatic cadence is anchored on the smallest swept cluster (the
+    // slowest months, hence the most conservative checkpoint interval).
+    const auto anchor =
+        platform::make_builtin_cluster(profile, resource_grid.front());
+    const Seconds month_seconds =
+        static_cast<double>(ensemble.scenarios) /
+        sched::best_throughput(anchor, ensemble.scenarios);
+    sweep_options.fault.checkpoint_months = checkpoint_cadence_from(
+        args, *failure_model, month_seconds, static_cast<MonthIndex>(ensemble.months),
+        sweep_options.restart_handoff);
+    sweep_options.fault.migrate_staging = sweep_options.restart_handoff;
+  }
 
   // One cell = four heuristics on one cluster size; cells are independent and
   // every makespan flows through the eval cache, so a repeated sweep over an
@@ -701,6 +876,7 @@ int cmd_serve(const std::vector<std::string>& argv) {
       .add_flag("resume",
                 "recover from --journal, then run the not-yet-journaled "
                 "tail of --campaigns");
+  add_fault_options(args);
   add_obs_options(args);
   args.parse(argv);
   const ObsSession obs_session(args);
@@ -735,6 +911,19 @@ int cmd_serve(const std::vector<std::string>& argv) {
     throw std::invalid_argument("unknown estimator '" + name +
                                 "' (analytic | sim | middleware)");
   options.estimator = estimator.get();
+
+  const auto failure_model = fault_model_from(args, grid.cluster_count());
+  std::unique_ptr<service::FailureAwareEstimator> failure_estimator;
+  if (failure_model) {
+    if (!estimator) estimator = std::make_unique<service::AnalyticEstimator>();
+    // The closed-form inflation has no per-checkpoint cost to weigh, so the
+    // automatic cadence collapses to the monthly restart.
+    const long long cadence = args.get_int("checkpoint-months");
+    failure_estimator = std::make_unique<service::FailureAwareEstimator>(
+        *estimator, grid, *failure_model,
+        cadence > 0 ? static_cast<MonthIndex>(cadence) : 1);
+    options.estimator = failure_estimator.get();
+  }
 
   const bool resume = args.flag("resume");
   if (resume && options.journal_dir.empty())
