@@ -209,6 +209,50 @@ void BM_ServiceRecovery(benchmark::State& state) {
 }
 BENCHMARK(BM_ServiceRecovery);
 
+void BM_ServiceHighTenancy(benchmark::State& state) {
+  // Control-plane throughput at production tenancy: 5000 small campaigns
+  // from 16 owners funnel through admission, the lease planner and the
+  // dispatcher. No journal directory — this prices the in-memory decision
+  // loop (the journal's batched cost is measured by BM_ServiceSharedRun and
+  // the durability tables).
+  constexpr std::size_t kCampaigns = 5000;
+  constexpr std::size_t kOwners = 16;
+  std::vector<Tenant> load;
+  load.reserve(kCampaigns);
+  for (std::size_t i = 0; i < kCampaigns; ++i) {
+    Tenant t;
+    t.spec.owner = "tenant-" + std::to_string(i % kOwners);
+    t.spec.weight = 1.0 + static_cast<double>(i % 3);
+    t.spec.scenarios = 1 + static_cast<Count>(i % 2);
+    t.spec.months = 1 + static_cast<Count>(i % 2) * 2;
+    t.at = static_cast<Seconds>(i) * 30.0;
+    load.push_back(std::move(t));
+  }
+
+  ServiceOptions options;
+  options.policy = service::QueuePolicy::kWeightedFairShare;
+  options.max_active = 16;
+  options.queue_capacity = kCampaigns + 1;
+  std::int64_t months = 0;
+  for (auto _ : state) {
+    CampaignService svc(bench_grid(), options);
+    for (const Tenant& t : load) (void)svc.submit(t.spec, t.at);
+    if (!svc.run()) throw std::runtime_error("bench service was killed?");
+    std::int64_t done = 0;
+    for (const service::CampaignId id : svc.campaign_ids())
+      done += static_cast<std::int64_t>(svc.campaign(id).months_done);
+    months = done;
+    benchmark::DoNotOptimize(svc.now());
+  }
+  state.counters["months"] = static_cast<double>(months);
+  state.counters["campaigns_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(kCampaigns),
+      benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kCampaigns));
+}
+BENCHMARK(BM_ServiceHighTenancy)->Unit(benchmark::kMillisecond);
+
 void BM_FailureAwareEstimation(benchmark::State& state) {
   // The FailureAwareEstimator decorator on the analytic backend: the
   // per-admission cost of folding failure expectations into lease sizing.

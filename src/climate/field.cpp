@@ -97,11 +97,6 @@ double Field::max() const {
   return *std::max_element(data_.begin(), data_.end());
 }
 
-void Field::fill_with(const std::function<double(double, double)>& f) {
-  for (int i = 0; i < nlat_; ++i)
-    for (int j = 0; j < nlon_; ++j) at(i, j) = f(latitude(i), longitude(j));
-}
-
 void Field::laplacian(Field& out) const {
   OAGRID_REQUIRE(out.nlat_ == nlat_ && out.nlon_ == nlon_,
                  "laplacian output dims mismatch");

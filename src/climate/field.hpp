@@ -11,7 +11,6 @@
 /// over-represent the poles), regional reductions, and Laplacian stencils
 /// for the model's diffusion.
 
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -63,8 +62,14 @@ class Field {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
 
-  /// Fills from a function of (latitude, longitude) in degrees.
-  void fill_with(const std::function<double(double, double)>& f);
+  /// Fills from a function of (latitude, longitude) in degrees. A template
+  /// so the callable is invoked directly — no std::function erasure on what
+  /// can be an inner-loop path.
+  template <typename F>
+  void fill_with(F&& f) {
+    for (int i = 0; i < nlat_; ++i)
+      for (int j = 0; j < nlon_; ++j) at(i, j) = f(latitude(i), longitude(j));
+  }
 
   /// Five-point Laplacian with periodic longitude and insulated (reflective)
   /// latitude boundaries, written into `out` (must have equal dims).

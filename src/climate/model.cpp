@@ -64,13 +64,46 @@ MonthlyState CoupledModel::step(std::size_t threads) {
   if (workers > 0 && (!pool_ || pool_->worker_count() != workers))
     pool_ = std::make_unique<ThreadPool>(workers);
 
+  // The row updater is a plain callable built once per step (not per
+  // substep, and never erased behind a std::function): the per-substep
+  // inputs it needs are captured by reference and assigned below.
+  const auto nlat = static_cast<std::size_t>(atm_.nlat());
+  double atm_mean = 0.0;
+  double season = 0.0;
+  const auto update_row = [&](std::size_t row) {
+    const int i = static_cast<int>(row);
+    const double lat = atm_.latitude(i);
+    const double q_shape =
+        insolation_shape(lat) *
+        (1.0 + season * std::sin(lat * std::numbers::pi / 180.0));
+    for (int j = 0; j < atm_.nlon(); ++j) {
+      const double to = ocn_.at(i, j);
+      const double albedo =
+          to < params_.ice_threshold ? params_.ice_albedo : 0.0;
+      const double absorbed =
+          0.25 * params_.solar * q_shape * (1.0 - albedo) -
+          0.25 * params_.solar;  // anomaly form: 0 at global ref
+      const double ta = atm_.at(i, j);
+      const double flux = absorbed - (params_.olr_a - 202.0) -
+                          params_.olr_b * (ta - atm_mean) -
+                          b_eff * (atm_mean - 14.0) +
+                          params_.exchange * (to - ta) +
+                          params_.ghg_forcing;
+      const double tendency =
+          (flux / 10.0 + d_atm * lap_atm_.at(i, j)) /
+          params_.atm_heat_capacity;
+      atm_.at(i, j) =
+          std::clamp(ta + dt * tendency, kClampLow, kClampHigh);
+    }
+  };
+
   for (int sub = 0; sub < params_.substeps; ++sub) {
     atm_.laplacian(lap_atm_);
     ocn_.laplacian(lap_ocn_);
     // The planetary-mean anomaly is damped at B_eff (cloud feedback), zonal
     // deviations at the full B — see the header note. Computed before the
     // parallel loop so results are thread-count independent.
-    const double atm_mean = atm_.weighted_mean();
+    atm_mean = atm_.weighted_mean();
 
     // Seasonal modulation for this substep's position within the year.
     const double year_phase =
@@ -78,39 +111,11 @@ MonthlyState CoupledModel::step(std::size_t threads) {
         ((month_ + static_cast<double>(sub) / params_.substeps -
           params_.seasonal_peak_month) /
          12.0);
-    const double season = params_.seasonal_amplitude * std::cos(year_phase);
+    season = params_.seasonal_amplitude * std::cos(year_phase);
 
     // Atmosphere rows fan out over the pool (the parallel component); the
     // ocean update is cheap and stays sequential, like OPA in the paper's
     // configuration.
-    const auto nlat = static_cast<std::size_t>(atm_.nlat());
-    const std::function<void(std::size_t)> update_row =
-        [&](std::size_t row) {
-          const int i = static_cast<int>(row);
-          const double lat = atm_.latitude(i);
-          const double q_shape =
-              insolation_shape(lat) *
-              (1.0 + season * std::sin(lat * std::numbers::pi / 180.0));
-          for (int j = 0; j < atm_.nlon(); ++j) {
-            const double to = ocn_.at(i, j);
-            const double albedo =
-                to < params_.ice_threshold ? params_.ice_albedo : 0.0;
-            const double absorbed =
-                0.25 * params_.solar * q_shape * (1.0 - albedo) -
-                0.25 * params_.solar;  // anomaly form: 0 at global ref
-            const double ta = atm_.at(i, j);
-            const double flux = absorbed - (params_.olr_a - 202.0) -
-                                params_.olr_b * (ta - atm_mean) -
-                                b_eff * (atm_mean - 14.0) +
-                                params_.exchange * (to - ta) +
-                                params_.ghg_forcing;
-            const double tendency =
-                (flux / 10.0 + d_atm * lap_atm_.at(i, j)) /
-                params_.atm_heat_capacity;
-            atm_.at(i, j) =
-                std::clamp(ta + dt * tendency, kClampLow, kClampHigh);
-          }
-        };
     if (workers > 0) {
       pool_->parallel_for(0, nlat, update_row);
     } else {

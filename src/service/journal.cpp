@@ -268,12 +268,40 @@ JournalWriter JournalWriter::reopen(const std::string& path,
   return writer;
 }
 
+void JournalWriter::set_group_commit(bool on) {
+  if (!on) (void)commit();
+  group_commit_ = on;
+}
+
 void JournalWriter::append(const Event& event) {
-  append_framed(out_, encode_event(event));
+  const std::string payload = encode_event(event);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  pending_.append(reinterpret_cast<const char*>(&len), sizeof len);
+  pending_.append(reinterpret_cast<const char*>(&crc), sizeof crc);
+  pending_.append(payload);
+  ++pending_records_;
+  ++seq_;
+  if (!group_commit_) (void)commit();
+}
+
+std::size_t JournalWriter::commit() {
+  if (pending_records_ == 0) return 0;
+  out_.write(pending_.data(), static_cast<std::streamsize>(pending_.size()));
   out_.flush();
   if (!out_)
     throw std::runtime_error("oagrid: journal append failed: " + path_);
-  ++seq_;
+  const std::size_t committed = pending_records_;
+  pending_.clear();
+  pending_records_ = 0;
+  ++flushes_;
+  return committed;
+}
+
+void JournalWriter::discard_pending() noexcept {
+  seq_ -= pending_records_;
+  pending_.clear();
+  pending_records_ = 0;
 }
 
 void write_snapshot(const std::string& path, std::uint64_t seq,

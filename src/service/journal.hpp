@@ -121,6 +121,16 @@ struct JournalContents {
 
 /// Append-only journal writer. Opens fresh (truncating) with a header, or
 /// re-opens an existing journal for appending after recovery validated it.
+///
+/// Two commit disciplines, producing byte-identical files:
+///  * per-record (default) — every append() is framed, written and flushed
+///    on its own: a crash loses at most the record being written;
+///  * group commit (set_group_commit(true)) — append() frames the record
+///    into an in-memory batch and commit() writes the whole batch with one
+///    write + flush. The frames are simply concatenated in append order, so
+///    the on-disk bytes are exactly what the per-record writer produces; a
+///    crash loses the uncommitted batch (and possibly tears its first
+///    record), which read_journal handles exactly like a torn record today.
 class JournalWriter {
  public:
   /// Creates `path` (truncating any previous file) and writes the header.
@@ -133,10 +143,33 @@ class JournalWriter {
   static JournalWriter reopen(const std::string& path,
                               const JournalContents& contents);
 
-  /// Appends one record (length + CRC framing) and flushes.
+  /// Selects the commit discipline. Turning group commit *off* commits any
+  /// pending batch first, so no record silently changes durability class.
+  void set_group_commit(bool on);
+  [[nodiscard]] bool group_commit() const noexcept { return group_commit_; }
+
+  /// Appends one record (length + CRC framing). Per-record mode writes and
+  /// flushes immediately; group-commit mode buffers until commit().
   void append(const Event& event);
 
-  /// Sequence number of the next record to be appended.
+  /// Writes and flushes the pending batch (one write + one flush, however
+  /// many records accumulated). Returns the number of records flushed
+  /// (0 when nothing was pending). A no-op in per-record mode.
+  std::size_t commit();
+
+  /// Emulated SIGKILL: drops the pending batch as a real crash would drop
+  /// an application-side buffer. The writer must not be used afterwards.
+  void discard_pending() noexcept;
+
+  /// Records appended but not yet committed to the file.
+  [[nodiscard]] std::size_t pending_records() const noexcept {
+    return pending_records_;
+  }
+  /// write+flush pairs issued over this writer's lifetime.
+  [[nodiscard]] std::uint64_t flushes() const noexcept { return flushes_; }
+
+  /// Sequence number of the next record to be appended (buffered records
+  /// count: they are part of the in-memory history).
   [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
@@ -146,6 +179,10 @@ class JournalWriter {
   std::string path_;
   std::ofstream out_;
   std::uint64_t seq_ = 0;
+  bool group_commit_ = false;
+  std::string pending_;
+  std::size_t pending_records_ = 0;
+  std::uint64_t flushes_ = 0;
 };
 
 /// Atomically replaces the snapshot at `path` (tmp + rename) with an opaque

@@ -48,6 +48,8 @@ struct LeaseClaim {
   bool newcomer = false;
   /// Unfinished scenarios overall — caps a newcomer's useful allotment.
   Count unfinished_total = 0;
+
+  [[nodiscard]] bool operator==(const LeaseClaim&) const = default;
 };
 
 class LeaseManager {

@@ -27,9 +27,14 @@ CampaignQueue::CampaignQueue(QueuePolicy policy, std::size_t capacity)
   OAGRID_REQUIRE(capacity >= 1, "queue capacity must be at least 1");
 }
 
-bool CampaignQueue::try_enqueue(CampaignId id) {
+bool CampaignQueue::try_enqueue(CampaignId id, double priority) {
   if (queued_.size() >= capacity_) return false;
+  OAGRID_REQUIRE(keys_.find(id) == keys_.end(), "campaign already queued");
   queued_.push_back(id);
+  const IndexKey key{policy_ == QueuePolicy::kFifo ? 0.0 : priority,
+                     next_seq_++, id};
+  keys_.emplace(id, key);
+  index_.insert(key);
   return true;
 }
 
@@ -37,6 +42,24 @@ void CampaignQueue::remove(CampaignId id) {
   const auto it = std::find(queued_.begin(), queued_.end(), id);
   OAGRID_REQUIRE(it != queued_.end(), "campaign not queued");
   queued_.erase(it);
+  const auto key = keys_.find(id);
+  index_.erase(key->second);
+  keys_.erase(key);
+}
+
+void CampaignQueue::update_priority(CampaignId id, double priority) {
+  if (policy_ == QueuePolicy::kFifo) return;
+  const auto key = keys_.find(id);
+  OAGRID_REQUIRE(key != keys_.end(), "campaign not queued");
+  if (std::get<0>(key->second) == priority) return;
+  index_.erase(key->second);
+  std::get<0>(key->second) = priority;
+  index_.insert(key->second);
+}
+
+CampaignId CampaignQueue::front() const {
+  OAGRID_REQUIRE(!index_.empty(), "front() on an empty queue");
+  return std::get<2>(*index_.begin());
 }
 
 std::vector<CampaignId> CampaignQueue::admission_order(

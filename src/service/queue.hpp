@@ -20,8 +20,12 @@
 /// order are fully re-derivable from the journal (submitted minus
 /// admitted/rejected, in submission order), which recovery exploits.
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
+#include <set>
+#include <tuple>
 #include <vector>
 
 #include "service/campaign.hpp"
@@ -38,6 +42,14 @@ enum class QueuePolicy : std::uint8_t {
 /// Parses "fifo" | "fair" | "srmf"; throws std::invalid_argument otherwise.
 [[nodiscard]] QueuePolicy queue_policy_from(const std::string& name);
 
+/// The queue maintains an ordered index keyed (priority, submission seq):
+/// enqueue, remove, re-prioritization and head lookup are all O(log n), so
+/// the service never sorts the whole queue per admission event. kFifo
+/// ignores priorities (every entry is keyed 0, so the seq tie-break *is*
+/// the order); the other policies keep each entry's priority current via
+/// update_priority (the service re-keys an owner's entries whenever that
+/// owner's fair-share consumption changes — srmf estimates never change
+/// while queued).
 class CampaignQueue {
  public:
   explicit CampaignQueue(QueuePolicy policy, std::size_t capacity);
@@ -46,13 +58,25 @@ class CampaignQueue {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t depth() const noexcept { return queued_.size(); }
   [[nodiscard]] bool empty() const noexcept { return queued_.empty(); }
+  [[nodiscard]] bool full() const noexcept {
+    return queued_.size() >= capacity_;
+  }
 
   /// Admission-control stage 1: false when the queue is full (the campaign
-  /// is rejected and never enters).
-  [[nodiscard]] bool try_enqueue(CampaignId id);
+  /// is rejected and never enters). `priority` keys the admission index
+  /// (ignored under kFifo).
+  [[nodiscard]] bool try_enqueue(CampaignId id, double priority = 0.0);
 
   /// Removes an admitted (or cancelled) campaign.
   void remove(CampaignId id);
+
+  /// Re-keys a queued campaign after its priority input changed (e.g. its
+  /// owner's consumed share moved). O(log n); a no-op if unchanged.
+  void update_priority(CampaignId id, double priority);
+
+  /// Head of the admission order: lowest (priority, submission seq).
+  /// Requires a non-empty queue.
+  [[nodiscard]] CampaignId front() const;
 
   /// Queued ids in submission order (stable across recovery).
   [[nodiscard]] const std::vector<CampaignId>& queued() const noexcept {
@@ -62,14 +86,20 @@ class CampaignQueue {
   /// Admission order under the policy: queued ids sorted by ascending
   /// `priority` (ties broken by submission order). The service supplies the
   /// priority function (owner fair-share usage or remaining-makespan
-  /// estimate); kFifo ignores it.
+  /// estimate); kFifo ignores it. A full sort — introspection and tests;
+  /// the service itself reads front() off the maintained index.
   [[nodiscard]] std::vector<CampaignId> admission_order(
       const std::function<double(CampaignId)>& priority) const;
 
  private:
+  using IndexKey = std::tuple<double, std::uint64_t, CampaignId>;
+
   QueuePolicy policy_;
   std::size_t capacity_;
   std::vector<CampaignId> queued_;  ///< submission order
+  std::uint64_t next_seq_ = 0;
+  std::map<CampaignId, IndexKey> keys_;
+  std::set<IndexKey> index_;  ///< ordered by (priority, seq)
 };
 
 }  // namespace oagrid::service

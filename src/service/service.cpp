@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <tuple>
@@ -39,6 +40,8 @@ CampaignService::CampaignService(platform::Grid grid, ServiceOptions options)
   OAGRID_REQUIRE(grid_.cluster_count() >= 1, "service needs a cluster");
   OAGRID_REQUIRE(options_.max_active >= 1, "max_active must be at least 1");
   clusters_.resize(static_cast<std::size_t>(grid_.cluster_count()));
+  pinned_campaigns_.assign(static_cast<std::size_t>(grid_.cluster_count()), 0);
+  cluster_members_.resize(static_cast<std::size_t>(grid_.cluster_count()));
   if (options_.estimator != nullptr) {
     estimator_ = options_.estimator;
   } else {
@@ -95,10 +98,13 @@ CampaignId CampaignService::submit(CampaignSpec spec, Seconds at) {
 bool CampaignService::run() {
   OAGRID_REQUIRE(!killed_, "a killed service cannot run again");
   started_ = true;
-  if (writer_ == nullptr && !options_.journal_dir.empty())
+  if (writer_ == nullptr && !options_.journal_dir.empty()) {
     writer_ = std::make_unique<JournalWriter>(
         journal_path(options_.journal_dir), 0, journal_config());
+    writer_->set_group_commit(options_.group_commit);
+  }
   while (!events_.empty() && !killed_) pump_one();
+  commit_journal();
   if (obs::enabled())
     obs::metrics().gauge("service.queue.depth")
         .set(static_cast<double>(queue_.depth()));
@@ -106,6 +112,10 @@ bool CampaignService::run() {
 }
 
 void CampaignService::pump_one() {
+  const bool timed = obs::enabled() && !replaying_;
+  std::chrono::steady_clock::time_point tick_start;
+  if (timed) tick_start = std::chrono::steady_clock::now();
+
   const PendingEvent event = *events_.begin();
   events_.erase(events_.begin());
   now_ = event.time;
@@ -115,7 +125,18 @@ void CampaignService::pump_one() {
     process_completion(event);
   }
   dispatch();
+  // The commit boundary: one event fully processed, every consequent record
+  // durable before the next event is popped.
+  commit_journal();
   maybe_snapshot();
+
+  if (timed) {
+    static obs::Histogram& ticks =
+        obs::metrics().histogram("service.tick_seconds");
+    ticks.record(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - tick_start)
+                     .count());
+  }
 }
 
 void CampaignService::process_submission(const PendingEvent& event) {
@@ -136,7 +157,7 @@ void CampaignService::process_submission(const PendingEvent& event) {
     submitted.add();
   }
 
-  if (!queue_.try_enqueue(event.campaign)) {
+  if (queue_.full()) {
     state.status = CampaignStatus::kRejected;
     Event rejected;
     rejected.type = EventType::kCampaignRejected;
@@ -150,6 +171,12 @@ void CampaignService::process_submission(const PendingEvent& event) {
     }
     return;
   }
+  const double priority = options_.policy == QueuePolicy::kFifo
+                              ? 0.0
+                              : admission_priority(event.campaign);
+  const bool enqueued = queue_.try_enqueue(event.campaign, priority);
+  OAGRID_REQUIRE(enqueued, "enqueue failed on a non-full queue");
+  owner_queued_[state.spec.owner].insert(event.campaign);
   state.status = CampaignStatus::kQueued;
   if (obs::enabled() && !replaying_)
     obs::metrics().gauge("service.queue.depth")
@@ -183,6 +210,17 @@ void CampaignService::process_completion(const PendingEvent& event) {
   ++state.months_done;
   state.scenario_ready[static_cast<std::size_t>(event.scenario)] = now_;
   owner_consumed_[state.spec.owner] += group_size * duration;
+  reprioritize_owner(state.spec.owner);
+  dispatch_dirty_.insert({event.campaign, event.cluster});
+
+  if (state.frontier[static_cast<std::size_t>(event.scenario)] >=
+      static_cast<MonthIndex>(state.spec.months)) {
+    // The scenario just retired: its pin on the cluster is gone.
+    std::vector<Count>& counts = pinned_counts_.at(event.campaign);
+    if (--counts[static_cast<std::size_t>(event.cluster)] == 0)
+      --pinned_campaigns_[static_cast<std::size_t>(event.cluster)];
+    mark_claims_dirty();
+  }
 
   if (obs::enabled() && !replaying_) {
     static obs::Counter& months =
@@ -233,9 +271,13 @@ void CampaignService::complete_campaign(CampaignState& state) {
   }
 
   // Release every lease (all months are done, so every group is idle).
+  // Range scan: the map is keyed (campaign, cluster), so this campaign's
+  // allotments are contiguous.
   std::vector<ClusterId> held;
-  for (const auto& [key, allotment] : allotments_)
-    if (key.first == state.id) held.push_back(key.second);
+  for (auto it = allotments_.lower_bound(
+           {state.id, std::numeric_limits<ClusterId>::lowest()});
+       it != allotments_.end() && it->first.first == state.id; ++it)
+    held.push_back(it->first.second);
   for (const ClusterId cluster : held) {
     Event release;
     release.type = EventType::kLeaseChanged;
@@ -251,8 +293,15 @@ void CampaignService::complete_campaign(CampaignState& state) {
       changes.add();
     }
     allotments_.erase({state.id, cluster});
+    cluster_members_[static_cast<std::size_t>(cluster)].erase(state.id);
+    dispatch_dirty_.erase({state.id, cluster});
   }
   scenario_running_.erase(state.id);
+  // Every scenario retired along the way, so the per-cluster pin counters
+  // already drained to zero; only the campaign's entry remains.
+  pinned_counts_.erase(state.id);
+  --active_count_;
+  mark_claims_dirty();
   rebalance_and_admit();
 }
 
@@ -268,12 +317,20 @@ int active_count(const std::map<CampaignId, CampaignState>& campaigns) {
 }  // namespace
 
 void CampaignService::try_admit() {
-  while (!queue_.empty() &&
-         active_count(campaigns_) < options_.max_active &&
-         leases_.admissible(incumbent_claims())) {
-    const std::vector<CampaignId> order = queue_.admission_order(
-        [this](CampaignId id) { return admission_priority(id); });
-    admit(order.front());
+  while (!queue_.empty() && active_count_ < options_.max_active &&
+         admissible_now()) {
+    const CampaignId next = queue_.front();
+    if (options_.verify_incremental) {
+      if (active_count_ != active_count(campaigns_))
+        throw std::runtime_error(
+            "oagrid: incremental active-campaign count diverged");
+      const std::vector<CampaignId> order = queue_.admission_order(
+          [this](CampaignId id) { return admission_priority(id); });
+      if (order.front() != next)
+        throw std::runtime_error(
+            "oagrid: indexed admission order diverged from the full sort");
+    }
+    admit(next);
   }
 }
 
@@ -291,19 +348,33 @@ double CampaignService::admission_priority(CampaignId id) {
       const auto cached = srmf_estimate_.find(id);
       if (cached != srmf_estimate_.end()) return cached->second;
       // Optimistic bound: the best single-cluster makespan of the whole
-      // campaign. Cached — the spec never changes while queued.
+      // campaign. Cached — the spec never changes while queued. The vectors
+      // are independent, so they fan out over the pool; the min is folded in
+      // cluster order either way.
+      std::vector<EstimateRequest> requests;
+      requests.reserve(static_cast<std::size_t>(grid_.cluster_count()));
+      for (ClusterId c = 0; c < grid_.cluster_count(); ++c)
+        requests.push_back({grid_.cluster(c), state.spec.scenarios,
+                            state.spec.months, options_.heuristic});
+      const std::vector<sched::PerformanceVector> vectors =
+          estimate_batch(*estimator_, requests, options_.estimator_threads);
       double best = std::numeric_limits<double>::infinity();
-      for (ClusterId c = 0; c < grid_.cluster_count(); ++c) {
-        const sched::PerformanceVector vector =
-            estimator_->vector(grid_.cluster(c), state.spec.scenarios,
-                               state.spec.months, options_.heuristic);
+      for (const sched::PerformanceVector& vector : vectors)
         best = std::min(best, vector.back());
-      }
       srmf_estimate_.emplace(id, best);
       return best;
     }
   }
   return 0.0;
+}
+
+void CampaignService::reprioritize_owner(const std::string& owner) {
+  if (options_.policy != QueuePolicy::kWeightedFairShare) return;
+  const auto it = owner_queued_.find(owner);
+  if (it == owner_queued_.end()) return;
+  for (const CampaignId id : it->second)
+    queue_.update_priority(
+        id, owner_consumed_[owner] / campaigns_.at(id).spec.weight);
 }
 
 std::vector<LeaseClaim> CampaignService::incumbent_claims() const {
@@ -323,16 +394,87 @@ std::vector<LeaseClaim> CampaignService::incumbent_claims() const {
   return claims;
 }
 
+void CampaignService::mark_claims_dirty() noexcept {
+  claims_dirty_ = true;
+  plan_valid_ = false;
+}
+
+const std::vector<LeaseClaim>& CampaignService::current_claims() {
+  if (!options_.incremental) {
+    claims_cache_ = incumbent_claims();
+    return claims_cache_;
+  }
+  if (claims_dirty_) {
+    // pinned_counts_ holds exactly the running campaigns, keyed ascending —
+    // the same order incumbent_claims() derives by scanning every frontier.
+    claims_cache_.clear();
+    claims_cache_.reserve(pinned_counts_.size());
+    for (const auto& [id, counts] : pinned_counts_) {
+      LeaseClaim claim;
+      claim.campaign = id;
+      claim.weight = campaigns_.at(id).spec.weight;
+      for (ClusterId c = 0; c < grid_.cluster_count(); ++c) {
+        const Count unfinished = counts[static_cast<std::size_t>(c)];
+        if (unfinished > 0) claim.pinned.push_back({c, unfinished});
+        claim.unfinished_total += unfinished;
+      }
+      claims_cache_.push_back(std::move(claim));
+    }
+    if (options_.verify_incremental && !(claims_cache_ == incumbent_claims()))
+      throw std::runtime_error(
+          "oagrid: incremental claims diverged from a full recompute");
+    claims_dirty_ = false;
+  }
+  return claims_cache_;
+}
+
+const std::vector<Lease>& CampaignService::current_plan() {
+  if (options_.incremental && plan_valid_) {
+    if (options_.verify_incremental &&
+        !(plan_cache_ == leases_.plan(current_claims())))
+      throw std::runtime_error(
+          "oagrid: cached lease plan diverged from a full recompute");
+    ++plan_reuse_;
+    if (obs::enabled() && !replaying_) {
+      static obs::Counter& reuse =
+          obs::metrics().counter("service.plan_reuse");
+      reuse.add();
+    }
+    return plan_cache_;
+  }
+  plan_cache_ = leases_.plan(current_claims());
+  plan_valid_ = options_.incremental;
+  return plan_cache_;
+}
+
+bool CampaignService::admissible_now() {
+  if (!options_.incremental) return leases_.admissible(current_claims());
+  bool open = false;
+  for (ClusterId c = 0; c < grid_.cluster_count() && !open; ++c) {
+    const platform::Cluster& cluster = grid_.cluster(c);
+    const ProcCount floors =
+        static_cast<ProcCount>(pinned_campaigns_[static_cast<std::size_t>(c)]) *
+        cluster.min_group();
+    open = cluster.resources() - floors >= cluster.min_group();
+  }
+  if (options_.verify_incremental &&
+      open != leases_.admissible(incumbent_claims()))
+    throw std::runtime_error(
+        "oagrid: incremental admissibility diverged from a full recompute");
+  return open;
+}
+
 void CampaignService::admit(CampaignId id) {
   queue_.remove(id);
   CampaignState& state = campaigns_.at(id);
+  owner_queued_[state.spec.owner].erase(id);
   const Count scenarios = state.spec.scenarios;
 
   // Pass 1: plan with the newcomer claiming everywhere, plus a guaranteed
   // floor on the admissible cluster with the most free capacity (progressive
   // filling alone could leave a light-weight newcomer below min_group on
   // every cluster — admitted yet unable to start).
-  std::vector<LeaseClaim> claims = incumbent_claims();
+  std::vector<LeaseClaim> claims = current_claims();
   ClusterId anchor = -1;
   ProcCount best_free = 0;
   for (ClusterId c = 0; c < grid_.cluster_count(); ++c) {
@@ -360,16 +502,20 @@ void CampaignService::admit(CampaignId id) {
 
   // Scenario placement (Algorithm 1) over the draft allotments: one
   // performance vector per granted cluster, each computed on the cluster
-  // resized to the lease.
+  // resized to the lease. The vectors are independent, so the batch fans
+  // out over the pool; greedy_repartition folds them in candidate order
+  // regardless, so the placement is identical at any thread count.
   std::vector<ClusterId> leased;
-  std::vector<sched::PerformanceVector> vectors;
+  std::vector<EstimateRequest> requests;
   for (const Lease& lease : draft) {
     if (lease.campaign != id) continue;
     leased.push_back(lease.cluster);
-    vectors.push_back(estimator_->vector(
-        grid_.cluster(lease.cluster).with_resources(lease.procs), scenarios,
-        state.spec.months, options_.heuristic));
+    requests.push_back(
+        {grid_.cluster(lease.cluster).with_resources(lease.procs), scenarios,
+         state.spec.months, options_.heuristic});
   }
+  const std::vector<sched::PerformanceVector> vectors =
+      estimate_batch(*estimator_, requests, options_.estimator_threads);
   const sched::Repartition repartition =
       sched::greedy_repartition(vectors, scenarios);
 
@@ -385,6 +531,17 @@ void CampaignService::admit(CampaignId id) {
   state.admit_time = now_;
   scenario_running_[id] =
       std::vector<char>(static_cast<std::size_t>(scenarios), 0);
+
+  std::vector<Count> counts(static_cast<std::size_t>(grid_.cluster_count()),
+                            0);
+  for (const ClusterId c : state.assignment)
+    ++counts[static_cast<std::size_t>(c)];
+  for (ClusterId c = 0; c < grid_.cluster_count(); ++c)
+    if (counts[static_cast<std::size_t>(c)] > 0)
+      ++pinned_campaigns_[static_cast<std::size_t>(c)];
+  pinned_counts_.emplace(id, std::move(counts));
+  ++active_count_;
+  mark_claims_dirty();
 
   Event record;
   record.type = EventType::kCampaignAdmitted;
@@ -404,39 +561,49 @@ void CampaignService::admit(CampaignId id) {
 
   // Pass 2: re-plan with the newcomer pinned only where scenarios actually
   // landed, so clusters it was granted but does not use go back to the pool.
-  apply_plan(leases_.plan(incumbent_claims()));
+  apply_plan(current_plan());
 }
 
 void CampaignService::rebalance_and_admit() {
   try_admit();
-  apply_plan(leases_.plan(incumbent_claims()));
+  apply_plan(current_plan());
 }
 
 void CampaignService::apply_plan(const std::vector<Lease>& plan) {
-  for (ClusterId c = 0; c < grid_.cluster_count(); ++c) {
-    std::map<CampaignId, ProcCount> targets;
-    for (const Lease& lease : plan)
-      if (lease.cluster == c) targets[lease.campaign] = lease.procs;
-    std::map<CampaignId, ProcCount> current;
-    for (const auto& [key, allotment] : allotments_)
-      if (key.second == c) current[key.first] = allotment.procs;
+  // One pass over the plan and one over the held allotments (instead of a
+  // rescan of both per cluster).
+  const auto n_clusters = static_cast<std::size_t>(grid_.cluster_count());
+  std::vector<std::map<CampaignId, ProcCount>> targets(n_clusters);
+  for (const Lease& lease : plan)
+    targets[static_cast<std::size_t>(lease.cluster)][lease.campaign] =
+        lease.procs;
+  std::vector<std::map<CampaignId, ProcCount>> current(n_clusters);
+  for (const auto& [key, allotment] : allotments_)
+    current[static_cast<std::size_t>(key.second)][key.first] = allotment.procs;
 
-    ClusterRuntime& runtime = clusters_[static_cast<std::size_t>(c)];
-    if (targets == current) {
-      // Already there (or a pending reconfiguration became moot).
+  for (ClusterId c = 0; c < grid_.cluster_count(); ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    ClusterRuntime& runtime = clusters_[ci];
+    if (targets[ci] == current[ci]) {
+      // Already there (or a pending reconfiguration became moot). Dropping
+      // a pending reconfiguration unstalls the cluster, so every member may
+      // dispatch again.
+      if (runtime.reconfiguring)
+        for (const CampaignId member : cluster_members_[ci])
+          dispatch_dirty_.insert({member, c});
       runtime.reconfiguring = false;
       runtime.targets.clear();
       continue;
     }
     if (runtime.running == 0) {
-      apply_targets(c, targets);
+      apply_targets(c, targets[ci]);
       runtime.reconfiguring = false;
       runtime.targets.clear();
     } else {
       // The paper's rule, applied to leases: months in flight keep their
       // processors. Stall new starts and re-carve once the cluster drains.
       runtime.reconfiguring = true;
-      runtime.targets = std::move(targets);
+      runtime.targets = std::move(targets[ci]);
     }
   }
 }
@@ -473,6 +640,8 @@ void CampaignService::apply_targets(
 
     if (new_procs == 0) {
       allotments_.erase({campaign, cluster});
+      cluster_members_[static_cast<std::size_t>(cluster)].erase(campaign);
+      dispatch_dirty_.erase({campaign, cluster});
       continue;
     }
     const CampaignState& state = campaigns_.at(campaign);
@@ -486,7 +655,14 @@ void CampaignService::apply_targets(
     allotment.group_sizes = schedule.group_sizes;
     allotment.group_busy.assign(allotment.group_sizes.size(), 0);
     allotments_[{campaign, cluster}] = std::move(allotment);
+    cluster_members_[static_cast<std::size_t>(cluster)].insert(campaign);
   }
+
+  // Re-carving (or unstalling after a drain) can free capacity for any
+  // campaign still holding the cluster, so mark them all.
+  for (const CampaignId member : cluster_members_[static_cast<std::size_t>(
+           cluster)])
+    dispatch_dirty_.insert({member, cluster});
 }
 
 void CampaignService::apply_reconfigure(ClusterId cluster) {
@@ -497,46 +673,81 @@ void CampaignService::apply_reconfigure(ClusterId cluster) {
 }
 
 void CampaignService::dispatch() {
-  for (auto& [key, allotment] : allotments_) {
-    const auto [campaign, cluster] = key;
-    if (clusters_[static_cast<std::size_t>(cluster)].reconfiguring) continue;
-    CampaignState& state = campaigns_.at(campaign);
-    std::vector<char>& running = scenario_running_.at(campaign);
-    const platform::Cluster& shape = grid_.cluster(cluster);
-
-    for (std::size_t g = 0; g < allotment.group_sizes.size(); ++g) {
-      if (allotment.group_busy[g] != 0) continue;
-      // Most-behind scenario first (lowest id breaks ties): keeps the
-      // frontier level, like the per-cluster DES dispatcher.
-      ScenarioId pick = -1;
-      for (ScenarioId s = 0;
-           s < static_cast<ScenarioId>(state.assignment.size()); ++s) {
-        if (state.assignment[static_cast<std::size_t>(s)] != cluster) continue;
-        if (running[static_cast<std::size_t>(s)] != 0) continue;
-        if (state.frontier[static_cast<std::size_t>(s)] >=
-            static_cast<MonthIndex>(state.spec.months))
-          continue;
-        if (pick < 0 || state.frontier[static_cast<std::size_t>(s)] <
-                            state.frontier[static_cast<std::size_t>(pick)])
-          pick = s;
-      }
-      if (pick < 0) break;
-
-      running[static_cast<std::size_t>(pick)] = 1;
-      allotment.group_busy[g] = 1;
-      ++clusters_[static_cast<std::size_t>(cluster)].running;
-
-      PendingEvent completion;
-      completion.time = now_ + shape.main_time(allotment.group_sizes[g]);
-      completion.kind = kCompletion;
-      completion.campaign = campaign;
-      completion.cluster = cluster;
-      completion.group = static_cast<int>(g);
-      completion.scenario = pick;
-      completion.month = state.frontier[static_cast<std::size_t>(pick)];
-      events_.insert(completion);
-    }
+  if (!options_.incremental) {
+    for (auto& [key, allotment] : allotments_) dispatch_key(key, allotment);
+    dispatch_dirty_.clear();
+    return;
   }
+  if (options_.verify_incremental) {
+    // Full scan, asserting the dirty set covered every allotment that had
+    // work to start: a start on a clean key means the incremental marking
+    // missed a state change.
+    for (auto& [key, allotment] : allotments_) {
+      const bool dirty = dispatch_dirty_.count(key) > 0;
+      if (dispatch_key(key, allotment) > 0 && !dirty)
+        throw std::runtime_error(
+            "oagrid: incremental dispatch missed allotment (campaign " +
+            std::to_string(key.first) + ", cluster " +
+            std::to_string(key.second) + ")");
+    }
+    dispatch_dirty_.clear();
+    return;
+  }
+  // Only allotments whose inputs changed this tick can start new months.
+  // Keys are visited in (campaign, cluster) order — the full scan's order —
+  // though starts on distinct allotments are independent anyway (a scenario
+  // is pinned to one cluster, groups belong to one allotment).
+  for (const AllotmentKey& key : dispatch_dirty_) {
+    const auto it = allotments_.find(key);
+    if (it == allotments_.end()) continue;
+    dispatch_key(it->first, it->second);
+  }
+  dispatch_dirty_.clear();
+}
+
+int CampaignService::dispatch_key(const AllotmentKey& key,
+                                  Allotment& allotment) {
+  const auto [campaign, cluster] = key;
+  if (clusters_[static_cast<std::size_t>(cluster)].reconfiguring) return 0;
+  CampaignState& state = campaigns_.at(campaign);
+  std::vector<char>& running = scenario_running_.at(campaign);
+  const platform::Cluster& shape = grid_.cluster(cluster);
+
+  int started = 0;
+  for (std::size_t g = 0; g < allotment.group_sizes.size(); ++g) {
+    if (allotment.group_busy[g] != 0) continue;
+    // Most-behind scenario first (lowest id breaks ties): keeps the
+    // frontier level, like the per-cluster DES dispatcher.
+    ScenarioId pick = -1;
+    for (ScenarioId s = 0;
+         s < static_cast<ScenarioId>(state.assignment.size()); ++s) {
+      if (state.assignment[static_cast<std::size_t>(s)] != cluster) continue;
+      if (running[static_cast<std::size_t>(s)] != 0) continue;
+      if (state.frontier[static_cast<std::size_t>(s)] >=
+          static_cast<MonthIndex>(state.spec.months))
+        continue;
+      if (pick < 0 || state.frontier[static_cast<std::size_t>(s)] <
+                          state.frontier[static_cast<std::size_t>(pick)])
+        pick = s;
+    }
+    if (pick < 0) break;
+
+    running[static_cast<std::size_t>(pick)] = 1;
+    allotment.group_busy[g] = 1;
+    ++clusters_[static_cast<std::size_t>(cluster)].running;
+    ++started;
+
+    PendingEvent completion;
+    completion.time = now_ + shape.main_time(allotment.group_sizes[g]);
+    completion.kind = kCompletion;
+    completion.campaign = campaign;
+    completion.cluster = cluster;
+    completion.group = static_cast<int>(g);
+    completion.scenario = pick;
+    completion.month = state.frontier[static_cast<std::size_t>(pick)];
+    events_.insert(completion);
+  }
+  return started;
 }
 
 // --- journal plumbing ------------------------------------------------------
@@ -560,18 +771,43 @@ void CampaignService::journal_append(const Event& event) {
   if (killed_) return;
   if (options_.kill_after_records >= 0 &&
       appends_done_ >= options_.kill_after_records) {
-    killed_ = true;  // emulated SIGKILL: this and later records are lost
+    killed_ = true;  // emulated SIGKILL: this and later records are lost,
+                     // and so is any batch still buffered in memory
+    if (writer_ != nullptr) writer_->discard_pending();
     return;
   }
   ++appends_done_;
-  if (writer_ != nullptr) writer_->append(event);
+  if (writer_ != nullptr) {
+    writer_->append(event);
+    if (!options_.group_commit && obs::enabled() && !replaying_) {
+      static obs::Counter& flushes = obs::metrics().counter("journal.flushes");
+      static obs::Histogram& batch =
+          obs::metrics().histogram("journal.batch_records");
+      flushes.add();
+      batch.record(1.0);
+    }
+  }
+}
+
+void CampaignService::commit_journal() {
+  if (writer_ == nullptr || killed_) return;
+  const std::size_t records = writer_->commit();
+  if (records > 0 && obs::enabled() && !replaying_) {
+    static obs::Counter& flushes = obs::metrics().counter("journal.flushes");
+    static obs::Histogram& batch =
+        obs::metrics().histogram("journal.batch_records");
+    flushes.add();
+    batch.record(static_cast<double>(records));
+  }
 }
 
 void CampaignService::finish_replay() {
   replaying_ = false;
-  if (!options_.journal_dir.empty() && replay_contents_.has_value())
+  if (!options_.journal_dir.empty() && replay_contents_.has_value()) {
     writer_ = std::make_unique<JournalWriter>(JournalWriter::reopen(
         journal_path(options_.journal_dir), *replay_contents_));
+    writer_->set_group_commit(options_.group_commit);
+  }
   replay_contents_.reset();
 }
 
@@ -582,12 +818,17 @@ void CampaignService::maybe_snapshot() {
   if (static_cast<long long>(writer_->seq() - last_snapshot_seq_) <
       options_.snapshot_every)
     return;
+  // The snapshot's seq must never exceed the journal's durable prefix (a
+  // crash between the two would make recovery reject the snapshot), so any
+  // buffered batch goes to disk first.
+  commit_journal();
   const std::uint64_t seq = writer_->seq();
   write_snapshot(snapshot_path(options_.journal_dir), seq, encode_state());
   // Compact: the snapshot subsumes every journaled record, so the journal
   // restarts at the snapshot's sequence number.
   writer_ = std::make_unique<JournalWriter>(journal_path(options_.journal_dir),
                                             seq, journal_config());
+  writer_->set_group_commit(options_.group_commit);
   last_snapshot_seq_ = seq;
   if (obs::enabled()) {
     static obs::Counter& snapshots =
@@ -779,8 +1020,20 @@ void CampaignService::decode_state(const std::string& payload) {
     for (auto& m : state.frontier) m = in.get<MonthIndex>();
     for (auto& t : state.scenario_ready) t = in.get<Seconds>();
     for (auto& c : state.assignment) c = in.get<ClusterId>();
-    if (state.status == CampaignStatus::kRunning)
+    if (state.status == CampaignStatus::kRunning) {
       scenario_running_[state.id] = std::vector<char>(scenarios, 0);
+      // Rebuild the incremental claim inputs from the decoded frontier.
+      std::vector<Count> counts(
+          static_cast<std::size_t>(grid_.cluster_count()), 0);
+      for (std::uint32_t s = 0; s < scenarios; ++s)
+        if (state.frontier[s] < static_cast<MonthIndex>(state.spec.months))
+          ++counts[static_cast<std::size_t>(state.assignment[s])];
+      for (ClusterId c = 0; c < grid_.cluster_count(); ++c)
+        if (counts[static_cast<std::size_t>(c)] > 0)
+          ++pinned_campaigns_[static_cast<std::size_t>(c)];
+      pinned_counts_.emplace(state.id, std::move(counts));
+      ++active_count_;
+    }
     campaigns_.emplace(state.id, std::move(state));
   }
 
@@ -801,6 +1054,8 @@ void CampaignService::decode_state(const std::string& payload) {
     for (auto& g : allotment.group_sizes) g = in.get<ProcCount>();
     allotment.group_busy.assign(groups, 0);
     allotments_[{campaign, cluster}] = std::move(allotment);
+    cluster_members_[static_cast<std::size_t>(cluster)].insert(campaign);
+    dispatch_dirty_.insert({campaign, cluster});
   }
 
   const auto n_clusters = in.get<std::uint32_t>();
@@ -842,6 +1097,16 @@ void CampaignService::decode_state(const std::string& payload) {
     events_.insert(event);
   }
   OAGRID_REQUIRE(in.exhausted(), "trailing bytes in snapshot payload");
+
+  // The queue section was decoded before owner_consumed_, so enqueue-time
+  // priorities were keyed off empty accounting; re-key now that the full
+  // state is in, and rebuild the per-owner fan-out sets.
+  for (const CampaignId id : queue_.queued()) {
+    owner_queued_[campaigns_.at(id).spec.owner].insert(id);
+    if (options_.policy != QueuePolicy::kFifo)
+      queue_.update_priority(id, admission_priority(id));
+  }
+  mark_claims_dirty();
 }
 
 // --- introspection ---------------------------------------------------------

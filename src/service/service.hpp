@@ -71,6 +71,30 @@ struct ServiceOptions {
 
   /// Estimation backend; null -> a built-in AnalyticEstimator.
   PerfEstimator* estimator = nullptr;
+
+  /// Group-commit journaling: buffer the records of one event-loop tick and
+  /// write+flush them as a single batch at the commit boundary (end of
+  /// pump_one). The on-disk bytes are identical to per-record mode; a crash
+  /// loses the uncommitted batch, which recovery treats exactly like a torn
+  /// tail. Off by default so per-record durability stays the library
+  /// baseline; the CLI turns it on.
+  bool group_commit = false;
+
+  /// Incremental control-plane bookkeeping: lease claims, the max-min plan,
+  /// cluster admissibility and the dispatch scan are only recomputed when
+  /// the inputs they depend on changed. Exact — results are identical to
+  /// full recomputation; switchable for A/B measurement.
+  bool incremental = true;
+
+  /// Debug cross-check: every incremental result (claims, plan, admission
+  /// order, dispatch coverage) is compared against a full recompute; any
+  /// divergence throws. Slow — for tests.
+  bool verify_incremental = false;
+
+  /// Threads for batched performance estimation (admission placement and
+  /// srmf priorities): 1 = serial (default), 0 = the whole shared pool,
+  /// N = at most N. Results are bit-identical at any setting.
+  std::size_t estimator_threads = 1;
 };
 
 /// What recover() found and rebuilt.
@@ -125,6 +149,10 @@ class CampaignService {
   [[nodiscard]] std::uint64_t lease_changes() const noexcept {
     return lease_changes_;
   }
+  /// Times a lease plan was served from cache instead of recomputed.
+  [[nodiscard]] std::uint64_t plan_reuse() const noexcept {
+    return plan_reuse_;
+  }
   [[nodiscard]] bool killed() const noexcept { return killed_; }
 
   /// Paths inside a journal directory (shared with tools/tests).
@@ -156,11 +184,14 @@ class CampaignService {
     [[nodiscard]] bool operator<(const PendingEvent& other) const;
   };
 
+  using AllotmentKey = std::pair<CampaignId, ClusterId>;
+
   // Event loop.
   void pump_one();
   void process_submission(const PendingEvent& event);
   void process_completion(const PendingEvent& event);
   void dispatch();
+  int dispatch_key(const AllotmentKey& key, Allotment& allotment);
   void complete_campaign(CampaignState& state);
 
   // Admission and leases.
@@ -168,6 +199,11 @@ class CampaignService {
   void admit(CampaignId id);
   void rebalance_and_admit();
   [[nodiscard]] std::vector<LeaseClaim> incumbent_claims() const;
+  [[nodiscard]] const std::vector<LeaseClaim>& current_claims();
+  [[nodiscard]] const std::vector<Lease>& current_plan();
+  [[nodiscard]] bool admissible_now();
+  void mark_claims_dirty() noexcept;
+  void reprioritize_owner(const std::string& owner);
   [[nodiscard]] double admission_priority(CampaignId id);
   void apply_plan(const std::vector<Lease>& plan);
   void apply_targets(ClusterId cluster,
@@ -176,6 +212,7 @@ class CampaignService {
 
   // Journal plumbing.
   void journal_append(const Event& event);
+  void commit_journal();
   void finish_replay();
   void maybe_snapshot();
   [[nodiscard]] JournalConfig journal_config() const;
@@ -198,11 +235,34 @@ class CampaignService {
 
   std::map<CampaignId, CampaignState> campaigns_;
   std::map<CampaignId, std::vector<char>> scenario_running_;  ///< transient
-  std::map<std::pair<CampaignId, ClusterId>, Allotment> allotments_;
+  std::map<AllotmentKey, Allotment> allotments_;
   std::vector<ClusterRuntime> clusters_;
   std::set<PendingEvent> events_;
   std::map<std::string, double> owner_consumed_;  ///< weighted fair share
   std::map<CampaignId, double> srmf_estimate_;    ///< cached policy input
+
+  // Incremental control-plane bookkeeping. Maintained on every transition
+  // (cheap); the caches below are consulted only when options_.incremental.
+  int active_count_ = 0;  ///< campaigns in kRunning
+  /// Per running campaign: unfinished scenarios pinned to each cluster —
+  /// exactly the inputs incumbent_claims() derives by scanning frontiers.
+  std::map<CampaignId, std::vector<Count>> pinned_counts_;
+  /// Per cluster: running campaigns with at least one scenario pinned there
+  /// (the admissibility floor count).
+  std::vector<int> pinned_campaigns_;
+  /// Per cluster: campaigns holding an allotment there (dirty fan-out when a
+  /// whole cluster becomes dispatchable again).
+  std::vector<std::set<CampaignId>> cluster_members_;
+  /// Allotments whose dispatch inputs changed since the last dispatch().
+  std::set<AllotmentKey> dispatch_dirty_;
+  /// Queued campaigns per owner (fair-share re-keying fan-out).
+  std::map<std::string, std::set<CampaignId>> owner_queued_;
+
+  bool claims_dirty_ = true;
+  std::vector<LeaseClaim> claims_cache_;
+  bool plan_valid_ = false;
+  std::vector<Lease> plan_cache_;
+  std::uint64_t plan_reuse_ = 0;
 
   std::unique_ptr<JournalWriter> writer_;
   std::uint64_t last_snapshot_seq_ = 0;

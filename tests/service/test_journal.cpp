@@ -274,5 +274,105 @@ TEST(Snapshot, MissingOrCorruptReadsAsInvalid) {
   EXPECT_FALSE(read_snapshot(path).valid);
 }
 
+TEST(GroupCommit, ProducesByteIdenticalJournals) {
+  const std::string dir = temp_dir("group-commit-bytes");
+  const std::vector<Event> events = sample_events();
+
+  const std::string per_record = dir + "/per_record.bin";
+  {
+    JournalWriter writer(per_record, 0, test_config());
+    for (const Event& event : events) writer.append(event);
+    EXPECT_EQ(writer.flushes(), events.size());
+  }
+  const std::string batched = dir + "/batched.bin";
+  {
+    JournalWriter writer(batched, 0, test_config());
+    writer.set_group_commit(true);
+    // Two batches of arbitrary size: frames are concatenated in append
+    // order, so the cut points must leave no trace in the bytes.
+    for (std::size_t i = 0; i < 4; ++i) writer.append(events[i]);
+    EXPECT_EQ(writer.pending_records(), 4u);
+    EXPECT_EQ(writer.commit(), 4u);
+    for (std::size_t i = 4; i < events.size(); ++i) writer.append(events[i]);
+    EXPECT_EQ(writer.commit(), events.size() - 4);
+    EXPECT_EQ(writer.flushes(), 2u);
+    EXPECT_EQ(writer.commit(), 0u);  // nothing pending: no third flush
+    EXPECT_EQ(writer.flushes(), 2u);
+  }
+  EXPECT_EQ(read_file(per_record), read_file(batched));
+}
+
+TEST(GroupCommit, DiscardPendingLosesExactlyTheUncommittedBatch) {
+  const std::string dir = temp_dir("group-commit-discard");
+  const std::string path = dir + "/journal.bin";
+  const std::vector<Event> events = sample_events();
+
+  JournalWriter writer(path, 0, test_config());
+  writer.set_group_commit(true);
+  for (std::size_t i = 0; i < 3; ++i) writer.append(events[i]);
+  writer.commit();
+  for (std::size_t i = 3; i < events.size(); ++i) writer.append(events[i]);
+  EXPECT_EQ(writer.seq(), events.size());  // buffered records are history...
+  writer.discard_pending();                // ...until the emulated SIGKILL
+  EXPECT_EQ(writer.seq(), 3u);
+  EXPECT_EQ(writer.pending_records(), 0u);
+
+  const JournalContents contents = read_journal(path);
+  ASSERT_TRUE(contents.exists);
+  EXPECT_FALSE(contents.torn_tail);
+  ASSERT_EQ(contents.events.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_TRUE(contents.events[i] == events[i]);
+}
+
+TEST(GroupCommit, TurningOffCommitsThePendingBatchFirst) {
+  const std::string dir = temp_dir("group-commit-toggle");
+  const std::string path = dir + "/journal.bin";
+  const std::vector<Event> events = sample_events();
+
+  JournalWriter writer(path, 0, test_config());
+  writer.set_group_commit(true);
+  writer.append(events[0]);
+  writer.append(events[1]);
+  writer.set_group_commit(false);  // commits: no record changes durability
+  EXPECT_EQ(writer.pending_records(), 0u);
+  writer.append(events[2]);  // back to flush-per-append
+  EXPECT_EQ(read_journal(path).events.size(), 3u);
+}
+
+TEST(GroupCommit, TornBatchTailRecoversLikeATornRecord) {
+  const std::string dir = temp_dir("group-commit-torn");
+  const std::string path = dir + "/journal.bin";
+  const std::vector<Event> events = sample_events();
+
+  JournalWriter writer(path, 0, test_config());
+  writer.set_group_commit(true);
+  for (std::size_t i = 0; i < 3; ++i) writer.append(events[i]);
+  writer.commit();
+  for (std::size_t i = 3; i < events.size(); ++i) writer.append(events[i]);
+  writer.commit();
+
+  // Tear the file mid-way through the second batch: the first batch and the
+  // second batch's whole records survive; the cut record is dropped.
+  std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() - 5));
+  const JournalContents torn = read_journal(path);
+  ASSERT_TRUE(torn.exists);
+  EXPECT_TRUE(torn.torn_tail);
+  ASSERT_EQ(torn.events.size(), events.size() - 1);
+  for (std::size_t i = 0; i + 1 < events.size(); ++i)
+    EXPECT_TRUE(torn.events[i] == events[i]);
+
+  // A batched writer reopens the torn journal exactly like a per-record one.
+  JournalWriter reopened = JournalWriter::reopen(path, torn);
+  reopened.set_group_commit(true);
+  reopened.append(events.back());
+  reopened.commit();
+  const JournalContents healed = read_journal(path);
+  EXPECT_FALSE(healed.torn_tail);
+  ASSERT_EQ(healed.events.size(), events.size());
+  EXPECT_TRUE(healed.events.back() == events.back());
+}
+
 }  // namespace
 }  // namespace oagrid::service

@@ -52,5 +52,74 @@ TEST(CampaignQueue, PolicySortsAscendingWithStableTies) {
   EXPECT_EQ(order, (std::vector<CampaignId>{2, 4, 1, 3}));
 }
 
+TEST(CampaignQueue, FrontTracksTheMaintainedIndex) {
+  CampaignQueue queue(QueuePolicy::kWeightedFairShare, 8);
+  ASSERT_TRUE(queue.try_enqueue(1, 2.0));
+  ASSERT_TRUE(queue.try_enqueue(2, 0.5));
+  ASSERT_TRUE(queue.try_enqueue(3, 1.0));
+  EXPECT_EQ(queue.front(), 2u);
+  queue.remove(2);
+  EXPECT_EQ(queue.front(), 3u);
+  queue.remove(3);
+  EXPECT_EQ(queue.front(), 1u);
+  queue.remove(1);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_THROW((void)queue.front(), std::invalid_argument);
+}
+
+TEST(CampaignQueue, UpdatePriorityRekeysInPlace) {
+  CampaignQueue queue(QueuePolicy::kWeightedFairShare, 8);
+  ASSERT_TRUE(queue.try_enqueue(1, 1.0));
+  ASSERT_TRUE(queue.try_enqueue(2, 2.0));
+  EXPECT_EQ(queue.front(), 1u);
+  queue.update_priority(1, 3.0);
+  EXPECT_EQ(queue.front(), 2u);
+  queue.update_priority(2, 3.0);  // now tied: submission order decides
+  EXPECT_EQ(queue.front(), 1u);
+  EXPECT_THROW(queue.update_priority(7, 0.0), std::invalid_argument);
+}
+
+TEST(CampaignQueue, FrontAgreesWithAdmissionOrderUnderChurn) {
+  CampaignQueue queue(QueuePolicy::kWeightedFairShare, 32);
+  std::map<CampaignId, double> priority;
+  const auto lookup = [&](CampaignId id) { return priority.at(id); };
+  // Deterministic churn: enqueue, re-key and remove in a scripted pattern,
+  // checking the O(log n) head against the full stable sort every step.
+  for (CampaignId id = 1; id <= 20; ++id) {
+    priority[id] = static_cast<double>((id * 7) % 5);
+    ASSERT_TRUE(queue.try_enqueue(id, priority[id]));
+    EXPECT_EQ(queue.front(), queue.admission_order(lookup).front());
+  }
+  for (CampaignId id = 1; id <= 20; ++id) {
+    if (id % 3 == 0) {
+      priority[id] = static_cast<double>((id * 11) % 7);
+      queue.update_priority(id, priority[id]);
+    }
+    if (id % 4 == 0) {
+      queue.remove(id);
+      priority.erase(id);
+    }
+    EXPECT_EQ(queue.front(), queue.admission_order(lookup).front());
+  }
+}
+
+TEST(CampaignQueue, FifoFrontIsSubmissionOrderWhateverThePriorities) {
+  CampaignQueue queue(QueuePolicy::kFifo, 8);
+  ASSERT_TRUE(queue.try_enqueue(5, 9.0));
+  ASSERT_TRUE(queue.try_enqueue(3, 0.0));
+  queue.update_priority(5, -1.0);  // no-op under fifo
+  EXPECT_EQ(queue.front(), 5u);
+}
+
+TEST(CampaignQueue, FullReportsCapacity) {
+  CampaignQueue queue(QueuePolicy::kFifo, 2);
+  EXPECT_FALSE(queue.full());
+  ASSERT_TRUE(queue.try_enqueue(1));
+  ASSERT_TRUE(queue.try_enqueue(2));
+  EXPECT_TRUE(queue.full());
+  queue.remove(1);
+  EXPECT_FALSE(queue.full());
+}
+
 }  // namespace
 }  // namespace oagrid::service

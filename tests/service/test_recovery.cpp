@@ -338,5 +338,165 @@ TEST(Recovery, RecoverMustBeTheFirstCall) {
   EXPECT_THROW((void)service->recover(), std::invalid_argument);
 }
 
+// --- group-commit journaling ----------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+ServiceOptions make_batch_options(const std::string& dir,
+                                  long long kill_after = -1,
+                                  Count snapshot_every = 0) {
+  ServiceOptions options = make_options(dir, kill_after, snapshot_every);
+  options.group_commit = true;
+  return options;
+}
+
+TEST(GroupCommitRecovery, JournalBytesMatchThePerRecordJournal) {
+  const std::string per_record_dir = temp_dir("batch-bytes-per-record");
+  const auto expected = baseline_run(per_record_dir);
+
+  const std::string batch_dir = temp_dir("batch-bytes-batched");
+  auto service = make_service(make_batch_options(batch_dir));
+  submit_missing(*service, workload());
+  EXPECT_TRUE(service->run());
+  EXPECT_EQ(capture(*service), expected);
+
+  // Not just the same records — the same bytes: batching only changes when
+  // frames reach the disk, never what they are.
+  EXPECT_EQ(read_file(CampaignService::journal_path(batch_dir)),
+            read_file(CampaignService::journal_path(per_record_dir)));
+}
+
+// The group-commit analogue of the kill matrix: a crash at any append now
+// also forfeits whatever the current batch had buffered, so recovery sees
+// the last commit boundary. The resumed run must still land on the exact
+// baseline outcome and journal bytes.
+TEST(GroupCommitRecovery, KillAtEveryRecordResumesToTheBaselineOutcome) {
+  const std::string base_dir = temp_dir("batch-kill-baseline");
+  const auto expected = baseline_run(base_dir);
+  const auto golden = read_journal(CampaignService::journal_path(base_dir));
+
+  const std::string dir = temp_dir("batch-kill");
+  const long long records = static_cast<long long>(golden.events.size());
+  for (long long kill = 1; kill < records; ++kill) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    {
+      auto victim = make_service(make_batch_options(dir, kill));
+      submit_missing(*victim, workload());
+      ASSERT_FALSE(victim->run()) << "kill point " << kill;
+      ASSERT_TRUE(victim->killed());
+    }
+    auto survivor = make_service(make_batch_options(dir));
+    const RecoveryReport report = survivor->recover();
+    ASSERT_TRUE(report.journal_found) << "kill point " << kill;
+    // Only the batches committed before the kill are on disk.
+    ASSERT_LE(report.replayed_records, static_cast<std::uint64_t>(kill));
+    ASSERT_FALSE(report.torn_tail);  // a lost batch is a clean cut
+    submit_missing(*survivor, workload());
+    ASSERT_TRUE(survivor->run()) << "kill point " << kill;
+
+    ASSERT_EQ(capture(*survivor), expected) << "kill point " << kill;
+    ASSERT_EQ(read_file(CampaignService::journal_path(dir)),
+              read_file(CampaignService::journal_path(base_dir)))
+        << "kill point " << kill;
+  }
+}
+
+TEST(GroupCommitRecovery, ChainedKillsEventuallyComplete) {
+  const std::string base_dir = temp_dir("batch-chain-baseline");
+  const auto expected = baseline_run(base_dir);
+
+  // Unlike per-record mode, a generation only banks whole ticks — the kill
+  // budget must exceed the largest single-tick batch or no generation would
+  // ever commit anything.
+  const std::string dir = temp_dir("batch-chain");
+  {
+    auto victim = make_service(make_batch_options(dir, 16));
+    submit_missing(*victim, workload());
+    ASSERT_FALSE(victim->run());
+  }
+  for (int generation = 0; generation < 128; ++generation) {
+    auto service = make_service(make_batch_options(dir, 16));
+    (void)service->recover();
+    submit_missing(*service, workload());
+    if (service->run()) {
+      EXPECT_EQ(capture(*service), expected);
+      EXPECT_EQ(read_file(CampaignService::journal_path(dir)),
+                read_file(CampaignService::journal_path(base_dir)));
+      return;
+    }
+  }
+  ADD_FAILURE() << "service never completed within 128 resume generations";
+}
+
+TEST(GroupCommitRecovery, ModesInteroperateOnTheSameJournal) {
+  const std::string base_dir = temp_dir("batch-mixed-baseline");
+  const auto expected = baseline_run(base_dir);
+
+  // Killed while writing per-record, resumed with group commit...
+  const std::string dir_a = temp_dir("batch-mixed-a");
+  {
+    auto victim = make_service(make_options(dir_a, 11));
+    submit_missing(*victim, workload());
+    ASSERT_FALSE(victim->run());
+  }
+  {
+    auto survivor = make_service(make_batch_options(dir_a));
+    (void)survivor->recover();
+    submit_missing(*survivor, workload());
+    ASSERT_TRUE(survivor->run());
+    EXPECT_EQ(capture(*survivor), expected);
+  }
+
+  // ...and killed while batching, resumed per-record. The bytes carry no
+  // trace of the discipline, so neither direction needs a migration.
+  const std::string dir_b = temp_dir("batch-mixed-b");
+  {
+    auto victim = make_service(make_batch_options(dir_b, 11));
+    submit_missing(*victim, workload());
+    ASSERT_FALSE(victim->run());
+  }
+  {
+    auto survivor = make_service(make_options(dir_b));
+    (void)survivor->recover();
+    submit_missing(*survivor, workload());
+    ASSERT_TRUE(survivor->run());
+    EXPECT_EQ(capture(*survivor), expected);
+  }
+  EXPECT_EQ(read_file(CampaignService::journal_path(dir_a)),
+            read_file(CampaignService::journal_path(dir_b)));
+}
+
+TEST(GroupCommitRecovery, SnapshotsNeverOutrunTheJournal) {
+  const std::string base_dir = temp_dir("batch-snap-baseline");
+  const auto expected = baseline_run(base_dir);
+  const auto golden = read_journal(CampaignService::journal_path(base_dir));
+  const long long records = static_cast<long long>(golden.events.size());
+
+  // Snapshot cadence + batching: the pre-snapshot commit keeps snapshot.seq
+  // inside the journal's durable prefix at every kill point.
+  const std::string dir = temp_dir("batch-snap");
+  for (const long long kill : {7ll, 13ll, 20ll, records - 2}) {
+    if (kill < 1 || kill >= records) continue;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    {
+      auto victim =
+          make_service(make_batch_options(dir, kill, /*snapshot_every=*/6));
+      submit_missing(*victim, workload());
+      ASSERT_FALSE(victim->run());
+    }
+    auto survivor =
+        make_service(make_batch_options(dir, -1, /*snapshot_every=*/6));
+    ASSERT_NO_THROW((void)survivor->recover()) << "kill point " << kill;
+    submit_missing(*survivor, workload());
+    ASSERT_TRUE(survivor->run()) << "kill point " << kill;
+    ASSERT_EQ(capture(*survivor), expected) << "kill point " << kill;
+  }
+}
+
 }  // namespace
 }  // namespace oagrid::service

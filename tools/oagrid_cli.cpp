@@ -873,6 +873,14 @@ int cmd_serve(const std::vector<std::string>& argv) {
       .add_option("kill-after",
                   "crash injection: die after N journal appends (-1 = off)",
                   "-1")
+      .add_option("journal-batch",
+                  "group-commit journaling, one flush per service tick "
+                  "(on | off; bytes on disk are identical either way)",
+                  "on")
+      .add_option("threads",
+                  "threads for batched performance estimation "
+                  "(1 = serial, 0 = all cores; results are identical)",
+                  "1")
       .add_flag("resume",
                 "recover from --journal, then run the not-yet-journaled "
                 "tail of --campaigns");
@@ -902,6 +910,14 @@ int cmd_serve(const std::vector<std::string>& argv) {
   options.journal_dir = args.get("journal");
   options.snapshot_every = args.get_int("snapshot-every");
   options.kill_after_records = args.get_int("kill-after");
+  if (const std::string batch = args.get("journal-batch"); batch == "on")
+    options.group_commit = true;
+  else if (batch == "off")
+    options.group_commit = false;
+  else
+    throw std::invalid_argument("--journal-batch must be on or off");
+  options.estimator_threads =
+      static_cast<std::size_t>(args.get_int("threads"));
   std::unique_ptr<service::PerfEstimator> estimator;
   if (const std::string name = args.get("estimator"); name == "sim")
     estimator = std::make_unique<service::SimEstimator>();
