@@ -4,7 +4,8 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
+
+#include "common/parse_error.hpp"
 
 namespace oagrid::climate {
 namespace {
@@ -17,10 +18,10 @@ void write_pod(std::ostream& out, const T& value) {
 }
 
 template <typename T>
-T read_pod(std::istream& in) {
+T read_pod(std::istream& in, const std::string& source) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw std::invalid_argument("oagrid: truncated restart stream");
+  if (!in) throw_parse_error(source, "truncated restart stream");
   return value;
 }
 
@@ -29,36 +30,36 @@ void write_field(std::ostream& out, const Field& field) {
             static_cast<std::streamsize>(field.size() * sizeof(double)));
 }
 
-void read_field(std::istream& in, Field& field) {
+void read_field(std::istream& in, const std::string& source, Field& field) {
   in.read(reinterpret_cast<char*>(field.data().data()),
           static_cast<std::streamsize>(field.size() * sizeof(double)));
   if (!in)
-    throw std::invalid_argument(
-        "oagrid: truncated restart stream (field payload cut short)");
+    throw_parse_error(source,
+                      "truncated restart stream (field payload cut short)");
 }
 
 /// A flipped bit in the header would otherwise surface as a huge allocation
 /// in CoupledModel's constructor (or silent nonsense physics), so the
 /// structural fields are sanity-checked before any state is built. The grid
 /// bound is generous — the reference resolution is 24x48.
-void validate_params(const ModelParams& params) {
+void validate_params(const ModelParams& params, const std::string& source) {
   constexpr int kMaxGridDim = 1 << 14;
   constexpr int kMaxSubsteps = 1 << 20;
   if (params.nlat < 1 || params.nlat > kMaxGridDim || params.nlon < 1 ||
       params.nlon > kMaxGridDim)
-    throw std::invalid_argument(
-        "oagrid: corrupt restart header (grid dimensions out of range)");
+    throw_parse_error(source,
+                      "corrupt restart header (grid dimensions out of range)");
   if (params.substeps < 1 || params.substeps > kMaxSubsteps)
-    throw std::invalid_argument(
-        "oagrid: corrupt restart header (substeps out of range)");
+    throw_parse_error(source,
+                      "corrupt restart header (substeps out of range)");
   for (const double value :
        {params.solar, params.olr_a, params.olr_b, params.cloud_feedback,
         params.exchange, params.atm_diffusion, params.ocn_diffusion,
         params.atm_heat_capacity, params.ocn_heat_capacity, params.ice_albedo,
         params.ice_threshold, params.ghg_forcing, params.seasonal_amplitude})
     if (!std::isfinite(value))
-      throw std::invalid_argument(
-          "oagrid: corrupt restart header (non-finite physics parameter)");
+      throw_parse_error(
+          source, "corrupt restart header (non-finite physics parameter)");
 }
 
 }  // namespace
@@ -72,25 +73,24 @@ void write_restart(std::ostream& out, const CoupledModel& model) {
   if (!out) throw std::runtime_error("oagrid: restart write failed");
 }
 
-CoupledModel read_restart(std::istream& in) {
+CoupledModel read_restart(std::istream& in, const std::string& source) {
   char magic[4];
   in.read(magic, sizeof magic);
   if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
-    throw std::invalid_argument("oagrid: not a restart stream (bad magic)");
-  const auto params = read_pod<ModelParams>(in);
-  validate_params(params);
-  const auto month = read_pod<std::int32_t>(in);
+    throw_parse_error(source, "not a restart stream (bad magic)");
+  const auto params = read_pod<ModelParams>(in, source);
+  validate_params(params, source);
+  const auto month = read_pod<std::int32_t>(in, source);
   if (month < 0)
-    throw std::invalid_argument(
-        "oagrid: corrupt restart header (negative month counter)");
+    throw_parse_error(source,
+                      "corrupt restart header (negative month counter)");
   CoupledModel model(params);
-  read_field(in, model.atmosphere());
-  read_field(in, model.ocean());
+  read_field(in, source, model.atmosphere());
+  read_field(in, source, model.ocean());
   // The stream must end exactly at the last field: trailing bytes mean the
   // reader and writer disagree about the layout.
   if (in.peek() != std::istream::traits_type::eof())
-    throw std::invalid_argument(
-        "oagrid: trailing bytes after restart payload");
+    throw_parse_error(source, "trailing bytes after restart payload");
   model.restore_month(month);
   return model;
 }

@@ -5,6 +5,7 @@
 /// exchange, scaled to the toy model.
 
 #include <iosfwd>
+#include <string>
 
 #include "climate/model.hpp"
 
@@ -14,10 +15,13 @@ namespace oagrid::climate {
 /// parameters needed to resume bit-identically).
 void write_restart(std::ostream& out, const CoupledModel& model);
 
-/// Reconstructs a model from a restart stream; throws std::invalid_argument
-/// on malformed input. The returned model continues exactly where the
-/// written one stopped.
-[[nodiscard]] CoupledModel read_restart(std::istream& in);
+/// Reconstructs a model from a restart stream; throws oagrid::ParseError (a
+/// std::invalid_argument) with a "<source>: message" diagnostic on malformed
+/// input — the stream is binary, so the diagnostic carries no line number.
+/// Pass the file path as `source` for clickable errors. The returned model
+/// continues exactly where the written one stopped.
+[[nodiscard]] CoupledModel read_restart(std::istream& in,
+                                        const std::string& source = "restart");
 
 /// Restart size in bytes for a given grid (what the 120 MB corresponds to).
 [[nodiscard]] std::size_t restart_size(const ModelParams& params);

@@ -1,0 +1,53 @@
+#pragma once
+/// \file parse_error.hpp
+/// \brief One diagnostic format for every oagrid input parser.
+///
+/// The repo grew one text/binary parser per subsystem (platform grids,
+/// network files, failure traces, climate restart/diagnostic streams), each
+/// with its own error phrasing. Tooling that wants to surface "where is the
+/// problem" — editors, the CLI error tests, the property-test shrinker —
+/// should not have to know per-parser prose, so every parser now throws
+/// through these helpers in the conventional compiler format:
+///
+///   <source>:<line>: <message>        (line-oriented text inputs)
+///   <source>: <message>               (binary streams — no line structure)
+///
+/// `source` defaults to a format label ("network", "failures", "restart");
+/// callers that read from a named file pass the path so the diagnostic is
+/// directly clickable.
+
+#include <stdexcept>
+#include <string>
+
+namespace oagrid {
+
+/// Thrown by every input parser. Derives from std::invalid_argument so all
+/// existing catch sites (and EXPECT_THROW assertions) keep working; carries
+/// the structured fields so tools can re-render without re-parsing what().
+class ParseError : public std::invalid_argument {
+ public:
+  /// Line-numbered form: "<source>:<line>: <message>".
+  ParseError(std::string source, int line, std::string message);
+  /// Lineless form (binary streams): "<source>: <message>".
+  ParseError(std::string source, std::string message);
+
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+  /// 0 when the input has no line structure.
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+ private:
+  std::string source_;
+  int line_ = 0;
+  std::string message_;
+};
+
+/// Convenience throwers, so parser code reads as a one-liner.
+[[noreturn]] void throw_parse_error(const std::string& source, int line,
+                                    const std::string& message);
+[[noreturn]] void throw_parse_error(const std::string& source,
+                                    const std::string& message);
+
+}  // namespace oagrid

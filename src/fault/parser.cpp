@@ -3,39 +3,40 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/parse_error.hpp"
 
 namespace oagrid::fault {
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& message) {
-  throw std::invalid_argument("oagrid: failure file line " +
-                              std::to_string(line) + ": " + message);
-}
-
-ClusterId read_cluster(std::istringstream& in, int line, int count) {
+ClusterId read_cluster(std::istringstream& in, const std::string& source,
+                       int line, int count) {
   ClusterId c = -1;
   if (!(in >> c) || c < 0 || c >= count)
-    fail(line, "expected a cluster id in [0, " + std::to_string(count) + ")");
+    throw_parse_error(source, line, "expected a cluster id in [0, " +
+                                        std::to_string(count) + ")");
   return c;
 }
 
-double read_positive(std::istringstream& in, int line, const std::string& what) {
+double read_positive(std::istringstream& in, const std::string& source,
+                     int line, const std::string& what) {
   double v = 0.0;
-  if (!(in >> v) || v <= 0.0) fail(line, "expected a positive " + what);
+  if (!(in >> v) || v <= 0.0)
+    throw_parse_error(source, line, "expected a positive " + what);
   return v;
 }
 
-double read_non_negative(std::istringstream& in, int line,
-                         const std::string& what) {
+double read_non_negative(std::istringstream& in, const std::string& source,
+                         int line, const std::string& what) {
   double v = -1.0;
-  if (!(in >> v) || v < 0.0) fail(line, "expected a non-negative " + what);
+  if (!(in >> v) || v < 0.0)
+    throw_parse_error(source, line, "expected a non-negative " + what);
   return v;
 }
 
 }  // namespace
 
-FailureModel parse_failures(std::istream& in) {
+FailureModel parse_failures(std::istream& in, const std::string& source) {
   std::optional<FailureModel> model;
   std::string raw;
   int line_no = 0;
@@ -49,51 +50,64 @@ FailureModel parse_failures(std::istream& in) {
     if (!(line >> keyword)) continue;  // blank / comment-only line
 
     if (keyword == "failures") {
-      if (model) fail(line_no, "duplicate 'failures' directive");
+      if (model)
+        throw_parse_error(source, line_no, "duplicate 'failures' directive");
       int clusters = 0;
       if (!(line >> clusters) || clusters < 1)
-        fail(line_no, "'failures' needs a positive cluster count");
+        throw_parse_error(source, line_no,
+                          "'failures' needs a positive cluster count");
       model.emplace(clusters);
       continue;
     }
     if (!model)
-      fail(line_no, "directive '" + keyword + "' before 'failures <count>'");
+      throw_parse_error(source, line_no, "directive '" + keyword +
+                                             "' before 'failures <count>'");
 
     if (keyword == "seed") {
       std::uint64_t seed = 0;
-      if (!(line >> seed)) fail(line_no, "'seed' needs an unsigned integer");
+      if (!(line >> seed))
+        throw_parse_error(source, line_no, "'seed' needs an unsigned integer");
       model->set_seed(seed);
     } else if (keyword == "mtbf") {
-      const ClusterId c = read_cluster(line, line_no, model->cluster_count());
-      const double mtbf = read_positive(line, line_no, "MTBF [s]");
-      const double mttr = read_non_negative(line, line_no, "MTTR [s]");
+      const ClusterId c =
+          read_cluster(line, source, line_no, model->cluster_count());
+      const double mtbf = read_positive(line, source, line_no, "MTBF [s]");
+      const double mttr =
+          read_non_negative(line, source, line_no, "MTTR [s]");
       model->set_exponential(c, mtbf, mttr);
     } else if (keyword == "weibull") {
-      const ClusterId c = read_cluster(line, line_no, model->cluster_count());
-      const double shape = read_positive(line, line_no, "Weibull shape");
-      const double mtbf = read_positive(line, line_no, "MTBF [s]");
-      const double mttr = read_non_negative(line, line_no, "MTTR [s]");
+      const ClusterId c =
+          read_cluster(line, source, line_no, model->cluster_count());
+      const double shape =
+          read_positive(line, source, line_no, "Weibull shape");
+      const double mtbf = read_positive(line, source, line_no, "MTBF [s]");
+      const double mttr =
+          read_non_negative(line, source, line_no, "MTTR [s]");
       model->set_weibull(c, shape, mtbf, mttr);
     } else if (keyword == "outage") {
-      const ClusterId c = read_cluster(line, line_no, model->cluster_count());
-      const double start = read_non_negative(line, line_no, "outage start [s]");
+      const ClusterId c =
+          read_cluster(line, source, line_no, model->cluster_count());
+      const double start =
+          read_non_negative(line, source, line_no, "outage start [s]");
       const double duration =
-          read_positive(line, line_no, "outage duration [s]");
+          read_positive(line, source, line_no, "outage duration [s]");
       model->add_outage(c, start, duration);
     } else if (keyword == "down") {
-      model->set_down(read_cluster(line, line_no, model->cluster_count()));
+      model->set_down(
+          read_cluster(line, source, line_no, model->cluster_count()));
     } else {
-      fail(line_no, "unknown directive '" + keyword + "'");
+      throw_parse_error(source, line_no,
+                        "unknown directive '" + keyword + "'");
     }
   }
-  if (!model)
-    throw std::invalid_argument("oagrid: failure file has no 'failures' line");
+  if (!model) throw_parse_error(source, "no 'failures <count>' line");
   return *model;
 }
 
-FailureModel parse_failures_string(const std::string& text) {
+FailureModel parse_failures_string(const std::string& text,
+                                   const std::string& source) {
   std::istringstream in(text);
-  return parse_failures(in);
+  return parse_failures(in, source);
 }
 
 void write_failures(std::ostream& out, const FailureModel& model) {

@@ -23,12 +23,15 @@
 
 namespace oagrid::fault {
 
-/// Parses a failure description. Throws std::invalid_argument with a
-/// line-numbered message on any malformed input.
-[[nodiscard]] FailureModel parse_failures(std::istream& in);
+/// Parses a failure description. Throws oagrid::ParseError (a
+/// std::invalid_argument) with a "<source>:<line>: message" diagnostic on any
+/// malformed input; pass the file path as `source` for clickable errors.
+[[nodiscard]] FailureModel parse_failures(
+    std::istream& in, const std::string& source = "failures");
 
 /// Convenience overload over an in-memory string.
-[[nodiscard]] FailureModel parse_failures_string(const std::string& text);
+[[nodiscard]] FailureModel parse_failures_string(
+    const std::string& text, const std::string& source = "failures");
 
 /// Serializes a model back to the same format (round-trips exactly with
 /// parse_failures): seed line, one process line per failing cluster, one

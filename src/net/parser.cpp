@@ -3,43 +3,44 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/parse_error.hpp"
 
 namespace oagrid::net {
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& message) {
-  throw std::invalid_argument("oagrid: network file line " +
-                              std::to_string(line) + ": " + message);
-}
-
 /// Reads "<bandwidth> <latency>" where bandwidth may be `inf`.
-LinkSpec read_spec(std::istringstream& in, int line) {
+LinkSpec read_spec(std::istringstream& in, const std::string& source,
+                   int line) {
   std::string bw_token;
   LinkSpec spec;
-  if (!(in >> bw_token)) fail(line, "expected a bandwidth [MB/s]");
+  if (!(in >> bw_token))
+    throw_parse_error(source, line, "expected a bandwidth [MB/s]");
   if (bw_token == "inf") {
     spec.bandwidth_mbps = kInfiniteBandwidth;
   } else {
     std::istringstream bw(bw_token);
     if (!(bw >> spec.bandwidth_mbps) || spec.bandwidth_mbps <= 0.0)
-      fail(line, "bandwidth must be a positive number or 'inf'");
+      throw_parse_error(source, line,
+                        "bandwidth must be a positive number or 'inf'");
   }
   if (!(in >> spec.latency) || spec.latency < 0.0)
-    fail(line, "expected a latency >= 0 [s]");
+    throw_parse_error(source, line, "expected a latency >= 0 [s]");
   return spec;
 }
 
-ClusterId read_cluster(std::istringstream& in, int line, int count) {
+ClusterId read_cluster(std::istringstream& in, const std::string& source,
+                       int line, int count) {
   ClusterId c = -1;
   if (!(in >> c) || c < 0 || c >= count)
-    fail(line, "expected a cluster id in [0, " + std::to_string(count) + ")");
+    throw_parse_error(source, line, "expected a cluster id in [0, " +
+                                        std::to_string(count) + ")");
   return c;
 }
 
 }  // namespace
 
-NetworkModel parse_network(std::istream& in) {
+NetworkModel parse_network(std::istream& in, const std::string& source) {
   std::optional<NetworkModel> model;
   std::string raw;
   int line_no = 0;
@@ -53,40 +54,49 @@ NetworkModel parse_network(std::istream& in) {
     if (!(line >> keyword)) continue;  // blank / comment-only line
 
     if (keyword == "network") {
-      if (model) fail(line_no, "duplicate 'network' directive");
+      if (model)
+        throw_parse_error(source, line_no, "duplicate 'network' directive");
       int clusters = 0;
       if (!(line >> clusters) || clusters < 1)
-        fail(line_no, "'network' needs a positive cluster count");
+        throw_parse_error(source, line_no,
+                          "'network' needs a positive cluster count");
       model.emplace(clusters);
       continue;
     }
     if (!model)
-      fail(line_no, "directive '" + keyword + "' before 'network <count>'");
+      throw_parse_error(source, line_no, "directive '" + keyword +
+                                             "' before 'network <count>'");
 
     if (keyword == "inter_default") {
-      model->set_default_inter(read_spec(line, line_no));
+      model->set_default_inter(read_spec(line, source, line_no));
     } else if (keyword == "intra_default") {
-      model->set_default_intra(read_spec(line, line_no));
+      model->set_default_intra(read_spec(line, source, line_no));
     } else if (keyword == "link") {
-      const ClusterId a = read_cluster(line, line_no, model->cluster_count());
-      const ClusterId b = read_cluster(line, line_no, model->cluster_count());
-      if (a == b) fail(line_no, "'link' endpoints must differ (use 'intra')");
-      model->set_link(a, b, read_spec(line, line_no));
+      const ClusterId a =
+          read_cluster(line, source, line_no, model->cluster_count());
+      const ClusterId b =
+          read_cluster(line, source, line_no, model->cluster_count());
+      if (a == b)
+        throw_parse_error(source, line_no,
+                          "'link' endpoints must differ (use 'intra')");
+      model->set_link(a, b, read_spec(line, source, line_no));
     } else if (keyword == "intra") {
-      const ClusterId c = read_cluster(line, line_no, model->cluster_count());
-      model->set_intra(c, read_spec(line, line_no));
+      const ClusterId c =
+          read_cluster(line, source, line_no, model->cluster_count());
+      model->set_intra(c, read_spec(line, source, line_no));
     } else {
-      fail(line_no, "unknown directive '" + keyword + "'");
+      throw_parse_error(source, line_no,
+                        "unknown directive '" + keyword + "'");
     }
   }
-  if (!model)
-    throw std::invalid_argument("oagrid: network file has no 'network' line");
+  if (!model) throw_parse_error(source, "no 'network <count>' line");
   return *model;
 }
 
-NetworkModel parse_network_string(const std::string& text) {
+NetworkModel parse_network_string(const std::string& text,
+                                  const std::string& source) {
   std::istringstream in(text);
-  return parse_network(in);
+  return parse_network(in, source);
 }
 
 void write_network(std::ostream& out, const NetworkModel& model) {

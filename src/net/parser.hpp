@@ -22,12 +22,15 @@
 
 namespace oagrid::net {
 
-/// Parses a network description. Throws std::invalid_argument with a
-/// line-numbered message on any malformed input.
-[[nodiscard]] NetworkModel parse_network(std::istream& in);
+/// Parses a network description. Throws oagrid::ParseError (a
+/// std::invalid_argument) with a "<source>:<line>: message" diagnostic on any
+/// malformed input; pass the file path as `source` for clickable errors.
+[[nodiscard]] NetworkModel parse_network(std::istream& in,
+                                         const std::string& source = "network");
 
 /// Convenience overload over an in-memory string.
-[[nodiscard]] NetworkModel parse_network_string(const std::string& text);
+[[nodiscard]] NetworkModel parse_network_string(
+    const std::string& text, const std::string& source = "network");
 
 /// Serializes a model back to the same format (round-trips with
 /// parse_network): one `link` line per unordered pair, one `intra` line per

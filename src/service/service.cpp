@@ -64,6 +64,16 @@ std::uint64_t CampaignService::journal_seq() const noexcept {
   return writer_ != nullptr ? writer_->seq() : 0;
 }
 
+std::uint64_t CampaignService::state_signature() const {
+  const std::string bytes = encode_state();
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char byte : bytes) {
+    hash ^= static_cast<std::uint8_t>(byte);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 JournalConfig CampaignService::journal_config() const {
   JournalConfig config;
   config.policy = static_cast<std::uint8_t>(options_.policy);

@@ -155,6 +155,12 @@ class CampaignService {
   }
   [[nodiscard]] bool killed() const noexcept { return killed_; }
 
+  /// FNV-1a over the full snapshot encoding of the current state — the
+  /// deterministic seam the property-testing harness byte-checks: a service
+  /// recovered from any kill point must reach the signature of an
+  /// uninterrupted run once both are drained.
+  [[nodiscard]] std::uint64_t state_signature() const;
+
   /// Paths inside a journal directory (shared with tools/tests).
   [[nodiscard]] static std::string journal_path(const std::string& dir);
   [[nodiscard]] static std::string snapshot_path(const std::string& dir);

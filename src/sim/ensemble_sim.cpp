@@ -579,6 +579,12 @@ class EnsembleSimulation {
     const MonthIndex rewound = scenario.months_done - keep;
     if (rewound > 0) {
       result_.fault.rewound_months += rewound;
+      // OAGRID_MUTATION_SKIP_REWIND is the seeded defect of the mutation
+      // smoke-check (tools/CMakeLists.txt): the rewind is accounted but the
+      // frontier is never rolled back, so the rewound months are not
+      // re-executed. The fault-work-conservation property
+      // (mains_executed == total_tasks + rewound_months) must catch it.
+#ifndef OAGRID_MUTATION_SKIP_REWIND
       auto& costs = done_costs_[static_cast<std::size_t>(s)];
       for (MonthIndex i = 0; i < rewound; ++i) {
         result_.fault.lost_seconds += costs.back();
@@ -588,6 +594,7 @@ class EnsembleSimulation {
       months_done_total_ -= rewound;
       scenario.months_dispatched -= rewound;
       months_dispatched_total_ -= rewound;
+#endif
     }
     switch (options_.fault.recovery) {
       case fault::RecoveryPolicy::kWaitForRepair:

@@ -1,0 +1,581 @@
+#include "testkit/invariants.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "fault/parser.hpp"
+#include "net/parser.hpp"
+#include "sched/lower_bounds.hpp"
+#include "sched/makespan_model.hpp"
+#include "sched/repartition.hpp"
+#include "service/journal.hpp"
+#include "service/service.hpp"
+#include "sim/eval_cache.hpp"
+#include "sim/grid_sim.hpp"
+
+namespace oagrid::testkit {
+namespace {
+
+namespace fs = std::filesystem;
+
+using Verdict = std::optional<std::string>;
+
+/// Formats a violation; returns through `out << ...` expressions.
+template <typename... Parts>
+Verdict fail(Parts&&... parts) {
+  std::ostringstream out;
+  (out << ... << parts);
+  return out.str();
+}
+
+std::vector<MonthIndex> month_vector(const appmodel::Ensemble& ensemble) {
+  return std::vector<MonthIndex>(static_cast<std::size_t>(ensemble.scenarios),
+                                 static_cast<MonthIndex>(ensemble.months));
+}
+
+sim::GridNetworkOptions net_options_of(const Case& world) {
+  sim::GridNetworkOptions options;
+  if (world.network.cluster_count() > 0) {
+    options.network = world.network;
+    options.stage_mb_per_scenario = world.stage_mb;
+    options.collect_mb_per_scenario = world.collect_mb;
+  }
+  return options;
+}
+
+sim::GridFaultOptions fault_options_of(const Case& world) {
+  sim::GridFaultOptions options;
+  if (world.failures.cluster_count() > 0) {
+    options.model = world.failures;
+    options.recovery = world.recovery;
+    options.checkpoint_months = world.checkpoint_months;
+  }
+  return options;
+}
+
+// --- closed form vs discrete-event simulation ------------------------------
+
+Verdict check_analytic_vs_des(const Case& world) {
+  for (int c = 0; c < world.grid.cluster_count(); ++c) {
+    const platform::Cluster& cluster = world.grid.cluster(c);
+    const Seconds bound =
+        sched::ensemble_lower_bounds(cluster, world.ensemble).combined();
+    for (ProcCount g = cluster.min_group();
+         g <= cluster.max_group() && g <= cluster.resources(); ++g) {
+      const sched::MakespanEstimate analytic =
+          sched::evaluate_uniform_grouping(cluster, world.ensemble, g);
+      if (analytic.regime == sched::MakespanRegime::kInfeasible) continue;
+      sched::GroupSchedule schedule;
+      schedule.group_sizes.assign(static_cast<std::size_t>(analytic.nbmax), g);
+      schedule.post_pool = analytic.r2;
+      const Seconds simulated =
+          sim::simulate_ensemble(cluster, schedule, world.ensemble).makespan;
+      if (world.spec.divisible_tables) {
+        // TP divides every T[G]: the formula is exact.
+        if (std::abs(simulated - analytic.makespan) >
+            1e-6 * analytic.makespan)
+          return fail("cluster ", c, " G=", g, ": simulated ", simulated,
+                      " != analytic ", analytic.makespan,
+                      " on a divisible table (regime ",
+                      to_string(analytic.regime), ")");
+      } else if (simulated >
+                 analytic.makespan * (1.0 + 1e-9) + 1e-6) {
+        // The closed form over-approximates when TP does not divide TG;
+        // it must never under-estimate the real execution.
+        return fail("cluster ", c, " G=", g, ": simulated ", simulated,
+                    " exceeds the analytic over-approximation ",
+                    analytic.makespan);
+      }
+      if (simulated < bound - 1e-6)
+        return fail("cluster ", c, " G=", g, ": simulated ", simulated,
+                    " beats the lower bound ", bound);
+    }
+  }
+  return std::nullopt;
+}
+
+// --- heuristics respect the absolute lower bounds ---------------------------
+
+Verdict check_lower_bounds(const Case& world) {
+  for (int c = 0; c < world.grid.cluster_count(); ++c) {
+    const platform::Cluster& cluster = world.grid.cluster(c);
+    const Seconds bound =
+        sched::ensemble_lower_bounds(cluster, world.ensemble).combined();
+    const sim::SimResult result =
+        sim::simulate_with_heuristic(cluster, world.heuristic, world.ensemble);
+    if (result.makespan < bound - 1e-6)
+      return fail("cluster ", c, ": ", to_string(world.heuristic),
+                  " makespan ", result.makespan, " beats the lower bound ",
+                  bound);
+    if (result.mains_executed != world.ensemble.total_tasks())
+      return fail("cluster ", c, ": executed ", result.mains_executed,
+                  " mains, expected ", world.ensemble.total_tasks());
+  }
+  const Seconds grid_bound =
+      sched::grid_lower_bounds(world.grid, world.ensemble).combined();
+  const sim::GridSimResult grid_result = sim::simulate_grid(
+      world.grid, world.ensemble, world.heuristic, 1, net_options_of(world),
+      fault_options_of(world));
+  // Staging/faults only add time, so the clean bound still holds.
+  if (grid_result.makespan < grid_bound - 1e-6)
+    return fail("grid makespan ", grid_result.makespan,
+                " beats the grid lower bound ", grid_bound);
+  return std::nullopt;
+}
+
+// --- memoized evaluation is bit-identical to direct simulation --------------
+
+Verdict check_eval_cache_identity(const Case& world) {
+  sim::SimOptions options;
+  options.dispatch = world.dispatch;
+  const std::vector<MonthIndex> months = month_vector(world.ensemble);
+  for (int c = 0; c < world.grid.cluster_count(); ++c) {
+    const platform::Cluster& cluster = world.grid.cluster(c);
+    const sched::GroupSchedule schedule =
+        sched::make_schedule(world.heuristic, cluster, world.ensemble);
+    const Seconds direct =
+        sim::simulate_ensemble(cluster, schedule, months, options).makespan;
+    const Seconds first =
+        sim::cached_makespan(cluster, schedule, months, options);
+    const Seconds second =
+        sim::cached_makespan(cluster, schedule, months, options);
+    if (direct != first || first != second)
+      return fail("cluster ", c, ": direct ", direct, ", first cached ",
+                  first, ", second cached ", second,
+                  " are not bit-identical");
+  }
+  return std::nullopt;
+}
+
+// --- thread count never changes a result ------------------------------------
+
+Verdict check_thread_invariance(const Case& world) {
+  const sim::GridNetworkOptions net = net_options_of(world);
+  const sim::GridFaultOptions faults = fault_options_of(world);
+  const sim::GridSimResult serial =
+      sim::simulate_grid(world.grid, world.ensemble, world.heuristic, 1, net,
+                         faults);
+  const sim::GridSimResult threaded =
+      sim::simulate_grid(world.grid, world.ensemble, world.heuristic, 3, net,
+                         faults);
+  if (serial.makespan != threaded.makespan)
+    return fail("grid makespan differs across thread counts: ",
+                serial.makespan, " (1 thread) vs ", threaded.makespan,
+                " (3 threads)");
+  if (serial.cluster_makespans != threaded.cluster_makespans)
+    return fail("per-cluster makespans differ across thread counts");
+  if (serial.repartition.assignment != threaded.repartition.assignment)
+    return fail("scenario assignment differs across thread counts");
+  return std::nullopt;
+}
+
+// --- fair-share transfers conserve bytes and respect physics ----------------
+
+Verdict check_net_conservation(const Case& world) {
+  const net::NetworkModel model =
+      world.network.cluster_count() > 0
+          ? world.network
+          : net::free_network(world.grid.cluster_count());
+  const std::vector<net::TransferRequest> requests =
+      random_transfers(world.spec, model.cluster_count());
+  const net::TransferPlan plan = net::simulate_transfers(model, requests);
+  if (plan.results.size() != requests.size())
+    return fail("plan has ", plan.results.size(), " results for ",
+                requests.size(), " requests");
+  double total_mb = 0.0;
+  Seconds latest = 0.0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const net::TransferRequest& request = requests[i];
+    const Seconds finish = plan.results[i].finish;
+    total_mb += request.size_mb;
+    latest = std::max(latest, finish);
+    // Fair sharing can only slow a transfer down relative to an
+    // uncontended link.
+    const Seconds floor =
+        request.start +
+        model.transfer_time(request.src, request.dst, request.size_mb);
+    if (finish < floor - 1e-9)
+      return fail("transfer ", i, " finished at ", finish,
+                  ", before its uncontended floor ", floor);
+    if (model.link(request.src, request.dst).is_free() &&
+        finish != request.start)
+      return fail("transfer ", i, " over a free link finished at ", finish,
+                  " != start ", request.start);
+  }
+  if (std::abs(plan.total_mb - total_mb) > 1e-9 * std::max(1.0, total_mb))
+    return fail("plan.total_mb ", plan.total_mb, " != injected bytes ",
+                total_mb);
+  if (plan.makespan != latest)
+    return fail("plan.makespan ", plan.makespan, " != max finish ", latest);
+  return std::nullopt;
+}
+
+// --- write -> parse round trips are exact ----------------------------------
+
+Verdict check_parser_round_trip(const Case& world) {
+  const int n = world.grid.cluster_count();
+  const net::NetworkModel network = world.network.cluster_count() > 0
+                                        ? world.network
+                                        : net::renater_network(n);
+  std::ostringstream net_out;
+  net::write_network(net_out, network);
+  const net::NetworkModel net_reparsed =
+      net::parse_network_string(net_out.str());
+  if (!(net_reparsed == network))
+    return fail("network model does not round trip through its text format");
+  std::ostringstream net_again;
+  net::write_network(net_again, net_reparsed);
+  if (net_again.str() != net_out.str())
+    return fail("network writer is not a fixed point across a round trip");
+
+  const fault::FailureModel failures =
+      world.failures.cluster_count() > 0
+          ? world.failures
+          : fault::FailureModel::uniform_exponential(n, 86400.0, 3600.0,
+                                                     world.spec.seed);
+  std::ostringstream fault_out;
+  fault::write_failures(fault_out, failures);
+  const fault::FailureModel fault_reparsed =
+      fault::parse_failures_string(fault_out.str());
+  if (fault_reparsed.signature() != failures.signature())
+    return fail("failure model does not round trip through its text format");
+  std::ostringstream fault_again;
+  fault::write_failures(fault_again, fault_reparsed);
+  if (fault_again.str() != fault_out.str())
+    return fail("failures writer is not a fixed point across a round trip");
+  return std::nullopt;
+}
+
+// --- inactive models are bit-exact no-ops -----------------------------------
+
+Verdict check_inactive_model_identity(const Case& world) {
+  const int n = world.grid.cluster_count();
+  const sim::GridSimResult bare =
+      sim::simulate_grid(world.grid, world.ensemble, world.heuristic);
+  sim::GridNetworkOptions free_net;
+  free_net.network = net::free_network(n);
+  free_net.stage_mb_per_scenario = world.stage_mb;
+  free_net.collect_mb_per_scenario = world.collect_mb;
+  sim::GridFaultOptions inactive_faults;
+  inactive_faults.model = fault::FailureModel(n);  // clusters, no processes
+  inactive_faults.recovery = world.recovery;
+  inactive_faults.checkpoint_months = world.checkpoint_months;
+  const sim::GridSimResult dressed = sim::simulate_grid(
+      world.grid, world.ensemble, world.heuristic, 1, free_net,
+      inactive_faults);
+  if (bare.makespan != dressed.makespan)
+    return fail("free network + inactive failures changed the makespan: ",
+                bare.makespan, " vs ", dressed.makespan);
+  if (bare.cluster_makespans != dressed.cluster_makespans)
+    return fail("free network + inactive failures changed a cluster makespan");
+  if (bare.repartition.assignment != dressed.repartition.assignment)
+    return fail("free network + inactive failures changed the assignment");
+  return std::nullopt;
+}
+
+// --- failure injection conserves work ----------------------------------------
+
+Verdict conservation_of(const platform::Cluster& cluster,
+                        const appmodel::Ensemble& ensemble,
+                        const Case& world, const sim::FaultOptions& fault,
+                        const char* label) {
+  sim::SimOptions options;
+  options.dispatch = world.dispatch;
+  options.fault = fault;
+  const sched::GroupSchedule schedule =
+      sched::make_schedule(world.heuristic, cluster, ensemble);
+  const sim::SimResult result =
+      sim::simulate_ensemble(cluster, schedule, ensemble, options);
+  // Every month completes exactly once in the final history; every rewound
+  // month re-executes exactly once more — and each successful main execution
+  // enqueues exactly one post.
+  const Count expected_mains =
+      ensemble.total_tasks() + result.fault.rewound_months;
+  if (result.mains_executed != expected_mains)
+    return fail(label, ": executed ", result.mains_executed,
+                " mains, expected total_tasks + rewound = ",
+                ensemble.total_tasks(), " + ", result.fault.rewound_months,
+                " = ", expected_mains,
+                " (a rewound month that is never re-executed is lost work)");
+  if (result.posts_executed != result.mains_executed)
+    return fail(label, ": ", result.posts_executed, " posts for ",
+                result.mains_executed, " mains");
+  if (result.retries != 0)
+    return fail(label, ": ", result.retries,
+                " perturbation retries in a perturbation-free run");
+  return std::nullopt;
+}
+
+Verdict check_fault_work_conservation(const Case& world) {
+  // A purpose-built aggressive process on cluster 0: MTBF a couple of main
+  // tasks, cadence 3, a horizon of at least 4 months — so rewinds (the
+  // mutation smoke-check's target) fire within the default budget for
+  // virtually every seed.
+  const platform::Cluster& cluster = world.grid.cluster(0);
+  const Seconds tg = cluster.main_time(cluster.min_group());
+  fault::FailureModel aggressive(world.grid.cluster_count());
+  aggressive.set_exponential(0, tg * 1.5, tg * 0.2);
+  aggressive.set_seed(world.spec.seed | 1);
+  appmodel::Ensemble stretched = world.ensemble;
+  stretched.months = std::max<Count>(stretched.months, 4);
+  sim::FaultOptions fault;
+  fault.model = &aggressive;
+  fault.cluster = 0;
+  fault.recovery = fault::RecoveryPolicy::kRescheduleInCluster;
+  fault.checkpoint_months = 3;
+  if (Verdict verdict = conservation_of(cluster, stretched, world, fault,
+                                        "aggressive exponential"))
+    return verdict;
+
+  // The case's own model, where it is active (weibull/outage coverage).
+  // Permanently-down clusters are excluded: no run on them can ever finish.
+  for (int c = 0; c < world.failures.cluster_count(); ++c) {
+    if (!world.failures.cluster_active(c)) continue;
+    if (world.failures.process(c).kind == fault::ProcessKind::kDown) continue;
+    sim::FaultOptions own;
+    own.model = &world.failures;
+    own.cluster = c;
+    own.recovery = world.recovery;
+    own.checkpoint_months = world.checkpoint_months;
+    if (Verdict verdict =
+            conservation_of(world.grid.cluster(c), world.ensemble, world, own,
+                            "generated model"))
+      return verdict;
+  }
+  return std::nullopt;
+}
+
+// --- repartition: greedy, charged-greedy and brute force agree ---------------
+
+Verdict check_repartition_consistency(const Case& world) {
+  Rng rng(world.spec.seed ^ 0x7265706172746974ull);
+  const int n = world.grid.cluster_count();
+  const Count scenarios = world.ensemble.scenarios;
+  std::vector<sched::PerformanceVector> performance(
+      static_cast<std::size_t>(n));
+  for (auto& vector : performance) {
+    Seconds makespan = rng.uniform(100.0, 2000.0);
+    for (Count k = 0; k < scenarios; ++k) {
+      vector.push_back(makespan);
+      makespan += rng.uniform(10.0, 500.0);  // monotone in k
+    }
+  }
+  const sched::Repartition greedy =
+      sched::greedy_repartition(performance, scenarios);
+  if (greedy.total_dags() != scenarios)
+    return fail("greedy distributed ", greedy.total_dags(), " of ", scenarios,
+                " scenarios");
+  if (!sched::is_locally_optimal(performance, greedy))
+    return fail("greedy repartition is not locally optimal");
+  const sched::Repartition charged = sched::greedy_repartition_charged(
+      performance, scenarios, [](std::size_t, Count) { return 0.0; });
+  if (charged.assignment != greedy.assignment ||
+      charged.makespan != greedy.makespan)
+    return fail("a zero placement charge changed the greedy repartition");
+  if (n <= 3 && scenarios <= 6) {
+    const sched::Repartition optimal =
+        sched::brute_force_repartition(performance, scenarios);
+    if (optimal.makespan > greedy.makespan + 1e-9)
+      return fail("brute force found ", optimal.makespan,
+                  ", worse than greedy ", greedy.makespan);
+  }
+  return std::nullopt;
+}
+
+// --- service world -----------------------------------------------------------
+
+/// Scratch directory under the system temp root, removed on scope exit.
+/// Unique per process *and* per use so parallel ctest invocations and
+/// repeated shrink re-runs never collide.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<std::uint64_t> counter{0};
+    path_ = fs::temp_directory_path() /
+            ("oagrid-proptest-" + std::to_string(::getpid()) + "-" + tag +
+             "-" + std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);  // best effort; never throw from a dtor
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+service::ServiceOptions service_options_of(const Case& world,
+                                           const std::string& journal_dir,
+                                           long long kill_after = -1) {
+  service::ServiceOptions options;
+  options.max_active = 2;
+  options.heuristic = world.heuristic;
+  options.journal_dir = journal_dir;
+  options.group_commit = world.spec.group_commit;
+  options.snapshot_every = world.spec.snapshot_every;
+  options.kill_after_records = kill_after;
+  return options;
+}
+
+void submit_missing(service::CampaignService& service,
+                    const std::vector<ServiceEntry>& schedule) {
+  const std::size_t known = service.campaign_ids().size();
+  for (std::size_t i = known; i < schedule.size(); ++i)
+    (void)service.submit(schedule[i].spec, schedule[i].at);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// The crash-point explorer: run an uninterrupted reference, then kill the
+/// service at generator-chosen journal offsets (mid-batch included under
+/// group commit, since the kill counter ticks per append, not per commit),
+/// recover into a fresh instance and byte-check the drained state.
+Verdict check_crash_recovery(const Case& world) {
+  if (world.schedule.empty()) return std::nullopt;  // vacuous: no service
+
+  TempDir ref_dir("ref");
+  auto reference = std::make_unique<service::CampaignService>(
+      world.grid, service_options_of(world, ref_dir.str()));
+  submit_missing(*reference, world.schedule);
+  if (!reference->run()) return fail("reference run reported a kill");
+  const std::uint64_t want_signature = reference->state_signature();
+  const std::string ref_journal =
+      read_file(service::CampaignService::journal_path(ref_dir.str()));
+  const auto records = static_cast<long long>(
+      service::read_journal(
+          service::CampaignService::journal_path(ref_dir.str()))
+          .events.size());
+  if (records < 2 || world.spec.kills == 0) return std::nullopt;
+
+  Rng rng(world.spec.seed ^ 0x6372617368657221ull);
+  for (int k = 0; k < world.spec.kills; ++k) {
+    const long long kill = rng.uniform_int(1, records - 1);
+    TempDir dir("kill" + std::to_string(k));
+    {
+      auto victim = std::make_unique<service::CampaignService>(
+          world.grid, service_options_of(world, dir.str(), kill));
+      submit_missing(*victim, world.schedule);
+      if (victim->run() || !victim->killed())
+        return fail("kill point ", kill, ": the armed service survived ",
+                    records, " reference records");
+    }
+    auto survivor = std::make_unique<service::CampaignService>(
+        world.grid, service_options_of(world, dir.str()));
+    (void)survivor->recover();
+    submit_missing(*survivor, world.schedule);
+    if (!survivor->run())
+      return fail("kill point ", kill, ": the recovered service was killed");
+    if (survivor->state_signature() != want_signature)
+      return fail("kill point ", kill,
+                  ": recovered state signature ", survivor->state_signature(),
+                  " != uninterrupted ", want_signature);
+    // Without snapshot compaction the healed journal must be the reference
+    // journal, byte for byte.
+    if (world.spec.snapshot_every == 0 &&
+        read_file(service::CampaignService::journal_path(dir.str())) !=
+            ref_journal)
+      return fail("kill point ", kill,
+                  ": recovered journal bytes differ from the reference");
+  }
+  return std::nullopt;
+}
+
+/// Incremental bookkeeping is an optimization, never a behavior change: a
+/// full-recompute service and an incremental one (with the paranoid
+/// cross-check armed) drain to the same state signature.
+Verdict check_service_incremental_identity(const Case& world) {
+  if (world.schedule.empty()) return std::nullopt;
+  service::ServiceOptions full = service_options_of(world, "");
+  full.incremental = false;
+  service::ServiceOptions incremental = service_options_of(world, "");
+  incremental.incremental = true;
+  incremental.verify_incremental = true;  // throws on any divergence
+  auto a = std::make_unique<service::CampaignService>(world.grid, full);
+  auto b =
+      std::make_unique<service::CampaignService>(world.grid, incremental);
+  submit_missing(*a, world.schedule);
+  submit_missing(*b, world.schedule);
+  if (!a->run() || !b->run())
+    return fail("a service run reported a kill with no kill armed");
+  if (a->state_signature() != b->state_signature())
+    return fail("incremental signature ", b->state_signature(),
+                " != full-recompute signature ", a->state_signature());
+  return std::nullopt;
+}
+
+}  // namespace
+
+const std::vector<Invariant>& all_invariants() {
+  static const std::vector<Invariant> registry = {
+      {"analytic-vs-des",
+       "closed-form makespan (Eq 1-5) agrees with the DES: exact on "
+       "divisible tables, an upper bound otherwise",
+       check_analytic_vs_des},
+      {"lower-bounds",
+       "no heuristic, on any cluster or the grid, beats the chain/area "
+       "lower bounds",
+       check_lower_bounds},
+      {"eval-cache-identity",
+       "cached makespans are bit-identical to direct simulation, misses "
+       "and hits alike",
+       check_eval_cache_identity},
+      {"thread-invariance",
+       "grid simulation results are bit-identical at any thread count",
+       check_thread_invariance},
+      {"net-conservation",
+       "fair-share transfers conserve bytes and never beat an uncontended "
+       "link",
+       check_net_conservation},
+      {"parser-round-trip",
+       "network and failure models round trip exactly through their text "
+       "formats",
+       check_parser_round_trip},
+      {"inactive-model-identity",
+       "a free network and an inactive failure model change nothing, bit "
+       "for bit",
+       check_inactive_model_identity},
+      {"fault-work-conservation",
+       "failure injection re-executes exactly the rewound months: mains == "
+       "total + rewound, one post per main",
+       check_fault_work_conservation},
+      {"repartition-consistency",
+       "greedy repartition is locally optimal, zero charges are identity, "
+       "brute force never loses to it",
+       check_repartition_consistency},
+      {"crash-recovery",
+       "a service killed at a random journal offset recovers to the "
+       "uninterrupted run's state signature and journal bytes",
+       check_crash_recovery},
+      {"service-incremental-identity",
+       "incremental control-plane bookkeeping drains to the same state "
+       "signature as full recomputation",
+       check_service_incremental_identity},
+  };
+  return registry;
+}
+
+const Invariant* find_invariant(const std::string& name) {
+  for (const Invariant& invariant : all_invariants())
+    if (invariant.name == name) return &invariant;
+  return nullptr;
+}
+
+}  // namespace oagrid::testkit

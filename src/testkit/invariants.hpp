@@ -1,0 +1,40 @@
+#pragma once
+/// \file invariants.hpp
+/// \brief The registry of cross-subsystem properties the harness checks on
+/// every generated case.
+///
+/// Each invariant is a differential oracle: two independent ways of
+/// computing the same answer (closed form vs DES, cached vs direct, one
+/// thread vs many, recovered vs uninterrupted, ...) that must agree — in
+/// most cases bit for bit, because every layer of the repo promises
+/// determinism. An invariant returns std::nullopt on success or a
+/// human-readable violation message; throwing is also treated as a failure
+/// by the runner (an oracle that crashes found a bug too).
+///
+/// Invariants must be *total* over the clamped spec space: any generated
+/// case either checks the property or passes vacuously (e.g. the crash
+/// explorer on a case with no service schedule). Vacuous passes are fine —
+/// across an iteration budget the generator covers every regime.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testkit/gen.hpp"
+
+namespace oagrid::testkit {
+
+struct Invariant {
+  std::string name;     ///< stable CLI handle (--invariant=<name>)
+  std::string summary;  ///< one line for --list
+  std::function<std::optional<std::string>(const Case&)> check;
+};
+
+/// Every registered invariant, in a stable order.
+[[nodiscard]] const std::vector<Invariant>& all_invariants();
+
+/// Lookup by name; nullptr when unknown.
+[[nodiscard]] const Invariant* find_invariant(const std::string& name);
+
+}  // namespace oagrid::testkit

@@ -1,0 +1,154 @@
+#include "testkit/runner.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <exception>
+#include <ostream>
+
+namespace oagrid::testkit {
+namespace {
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  std::uint64_t value = 0;
+  const std::string text(raw);
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    return std::nullopt;  // malformed: fall back to the default silently
+  return value;
+}
+
+/// Checks one invariant against one spec, folding exceptions into failure
+/// messages (an oracle that throws found a bug too — and must stay
+/// shrinkable).
+std::optional<std::string> check_spec(const Invariant& invariant,
+                                      const CaseSpec& spec) {
+  try {
+    return invariant.check(materialize(spec));
+  } catch (const std::exception& error) {
+    return std::string("unhandled exception: ") + error.what();
+  } catch (...) {
+    return std::string("unhandled non-standard exception");
+  }
+}
+
+std::vector<const Invariant*> select_invariants(const RunOptions& options,
+                                                std::ostream& out) {
+  std::vector<const Invariant*> selected;
+  if (options.only_invariant.empty()) {
+    for (const Invariant& invariant : all_invariants())
+      selected.push_back(&invariant);
+  } else if (const Invariant* found =
+                 find_invariant(options.only_invariant)) {
+    selected.push_back(found);
+  } else {
+    out << "error: unknown invariant '" << options.only_invariant
+        << "' (see --list)\n";
+  }
+  return selected;
+}
+
+void report_failure(const PropertyFailure& failure, const RunOptions& options,
+                    bool from_explicit_spec, std::ostream& out) {
+  out << "[FAIL] invariant=" << failure.invariant;
+  if (!from_explicit_spec)
+    out << " case=" << failure.case_index << " seed=" << options.seed;
+  out << "\n  " << failure.message << "\n";
+  if (!from_explicit_spec)
+    out << "  repro: tools/oagrid_proptest --seed=" << options.seed
+        << " --case=" << failure.case_index
+        << " --invariant=" << failure.invariant << "\n";
+  out << "  shrunk (" << failure.shrink_steps
+      << " steps): " << failure.shrunk_message << "\n"
+      << "  repro: tools/oagrid_proptest --spec=" << failure.shrunk.encode()
+      << " --invariant=" << failure.invariant << "\n";
+}
+
+}  // namespace
+
+RunOptions apply_env(RunOptions options) {
+  if (!options.seed_explicit)
+    if (const auto seed = env_u64("OAGRID_PROPTEST_SEED")) options.seed = *seed;
+  if (!options.iterations_explicit)
+    if (const auto iters = env_u64("OAGRID_PROPTEST_ITERS"))
+      options.iterations = static_cast<int>(*iters);
+  return options;
+}
+
+ShrinkResult shrink_spec(const CaseSpec& start,
+                         const std::string& start_message,
+                         const SpecPredicate& predicate, int max_steps) {
+  ShrinkResult result{start, start_message, 0};
+  bool reduced = true;
+  while (reduced && result.steps < max_steps) {
+    reduced = false;
+    for (const CaseSpec& candidate : shrink_candidates(result.spec)) {
+      if (const auto message = predicate(candidate)) {
+        result.spec = candidate;
+        result.message = *message;
+        ++result.steps;
+        reduced = true;
+        break;  // restart from the most aggressive reduction
+      }
+    }
+  }
+  return result;
+}
+
+RunReport run_properties(const RunOptions& options, std::ostream& out) {
+  RunReport report;
+  const std::vector<const Invariant*> selected =
+      select_invariants(options, out);
+  if (selected.empty()) return report;
+
+  const bool from_explicit_spec = !options.explicit_spec.empty();
+  std::vector<std::pair<std::uint64_t, CaseSpec>> cases;
+  if (from_explicit_spec) {
+    cases.emplace_back(0, CaseSpec::decode(options.explicit_spec));
+  } else if (options.only_case >= 0) {
+    const auto index = static_cast<std::uint64_t>(options.only_case);
+    cases.emplace_back(index, spec_for_case(options.seed, index));
+  } else {
+    for (int i = 0; i < options.iterations; ++i)
+      cases.emplace_back(static_cast<std::uint64_t>(i),
+                         spec_for_case(options.seed,
+                                       static_cast<std::uint64_t>(i)));
+  }
+
+  for (const auto& [index, spec] : cases) {
+    ++report.cases_run;
+    if (options.verbose)
+      out << "[case " << index << "] " << spec.encode() << "\n";
+    for (const Invariant* invariant : selected) {
+      ++report.checks_run;
+      const auto message = check_spec(*invariant, spec);
+      if (!message) continue;
+
+      PropertyFailure failure;
+      failure.invariant = invariant->name;
+      failure.case_index = index;
+      failure.spec = spec;
+      failure.message = *message;
+      const ShrinkResult shrunk = shrink_spec(
+          spec, *message,
+          [invariant](const CaseSpec& candidate) {
+            return check_spec(*invariant, candidate);
+          },
+          options.max_shrink_steps);
+      failure.shrunk = shrunk.spec;
+      failure.shrunk_message = shrunk.message;
+      failure.shrink_steps = shrunk.steps;
+      report_failure(failure, options, from_explicit_spec, out);
+      report.failures.push_back(std::move(failure));
+    }
+  }
+
+  out << "proptest: " << report.cases_run << " cases x " << selected.size()
+      << " invariants = " << report.checks_run << " checks, "
+      << report.failures.size() << " failed (seed " << options.seed << ")\n";
+  return report;
+}
+
+}  // namespace oagrid::testkit

@@ -1,0 +1,95 @@
+#pragma once
+/// \file runner.hpp
+/// \brief The property-test campaign loop: generate, check, shrink, report.
+///
+/// Reproducibility contract: every failure line printed by run_properties()
+/// contains a command that rebuilds the exact failing world —
+///
+///   tools/oagrid_proptest --seed=<root> --case=<index> --invariant=<name>
+///
+/// for the original case, and `--spec=<encoded>` for the greedily shrunk
+/// minimal case. The iteration budget and root seed resolve, in precedence
+/// order: explicit RunOptions (CLI flags) > OAGRID_PROPTEST_ITERS /
+/// OAGRID_PROPTEST_SEED environment variables > compiled defaults — so a CI
+/// job can widen the campaign without touching any test code.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testkit/invariants.hpp"
+#include "testkit/spec.hpp"
+
+namespace oagrid::testkit {
+
+/// Compiled default budget: small enough that `ctest -L property` stays in
+/// the tens of seconds, large enough that every invariant sees every
+/// generation regime several times.
+inline constexpr int kDefaultIterations = 24;
+inline constexpr std::uint64_t kDefaultSeed = 0x0A6217ED5EEDull;
+
+struct RunOptions {
+  std::uint64_t seed = kDefaultSeed;
+  int iterations = kDefaultIterations;
+  /// Empty = check every invariant.
+  std::string only_invariant;
+  /// >= 0: run only that campaign index (the --case repro path).
+  long long only_case = -1;
+  /// Non-empty: skip generation and check exactly this encoded spec (the
+  /// --spec repro path; implies a single case).
+  std::string explicit_spec;
+  int max_shrink_steps = 64;
+  bool verbose = false;
+
+  /// Marks which of seed/iterations were set explicitly (flags beat env).
+  bool seed_explicit = false;
+  bool iterations_explicit = false;
+};
+
+/// Applies OAGRID_PROPTEST_SEED / OAGRID_PROPTEST_ITERS to any field not
+/// explicitly set. Malformed values are ignored (the defaults stand).
+[[nodiscard]] RunOptions apply_env(RunOptions options);
+
+struct PropertyFailure {
+  std::string invariant;
+  std::uint64_t case_index = 0;
+  CaseSpec spec;            ///< the case as generated
+  std::string message;      ///< the original violation
+  CaseSpec shrunk;          ///< greedy minimum still violating
+  std::string shrunk_message;
+  int shrink_steps = 0;     ///< accepted reductions
+};
+
+struct RunReport {
+  int cases_run = 0;
+  long long checks_run = 0;
+  std::vector<PropertyFailure> failures;
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// A predicate over specs: nullopt = passes, string = violation message.
+using SpecPredicate =
+    std::function<std::optional<std::string>(const CaseSpec&)>;
+
+/// Greedy shrink: walks shrink_candidates() repeatedly, keeping the first
+/// candidate that still fails `predicate`, until no candidate fails or the
+/// step budget runs out. Returns the minimal spec, its message, and the
+/// number of accepted reductions.
+struct ShrinkResult {
+  CaseSpec spec;
+  std::string message;
+  int steps = 0;
+};
+[[nodiscard]] ShrinkResult shrink_spec(const CaseSpec& start,
+                                       const std::string& start_message,
+                                       const SpecPredicate& predicate,
+                                       int max_steps);
+
+/// Runs the campaign, streaming failures (with repro lines) and a summary to
+/// `out`. Exceptions escaping an invariant are failures, not crashes.
+RunReport run_properties(const RunOptions& options, std::ostream& out);
+
+}  // namespace oagrid::testkit

@@ -1,0 +1,147 @@
+/// \file test_cli_errors.cpp
+/// \brief End-to-end error-path contract of oagrid_cli: bad flags, malformed
+/// input files and conflicting options must exit non-zero with a diagnostic
+/// a human (or an editor) can act on — malformed files in particular must
+/// point at "<file>:<line>:".
+///
+/// The binary path arrives via the OAGRID_CLI_PATH compile definition (set
+/// to $<TARGET_FILE:oagrid_cli> in tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr interleaved
+};
+
+/// Runs the CLI with `args`, capturing both streams and the exit status.
+CliResult run_cli(const std::string& args) {
+  const std::string command = std::string(OAGRID_CLI_PATH) + " " + args +
+                              " 2>&1";
+  CliResult result;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[512];
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr)
+    result.output += buffer;
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// Writes `text` to a unique temp file; removed in the destructor.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag, const std::string& text)
+      : path_(fs::temp_directory_path() /
+              ("oagrid-cli-errors-" + std::to_string(::getpid()) + "-" + tag)) {
+    std::ofstream(path_) << text;
+  }
+  ~TempFile() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  [[nodiscard]] std::string path() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+TEST(CliErrors, UnknownFlagExitsNonZeroAndNamesTheFlag) {
+  const CliResult result = run_cli("simulate --no-such-flag");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("no-such-flag"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, UnknownCommandExitsTwoWithUsage) {
+  const CliResult result = run_cli("frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown command"), std::string::npos);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliErrors, MissingValueExitsNonZero) {
+  const CliResult result = run_cli("simulate --months");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("months"), std::string::npos) << result.output;
+}
+
+TEST(CliErrors, MalformedNetworkFileIsLineNumbered) {
+  const TempFile file("net.txt", "network 2\nbogus 1 2\n");
+  const CliResult result =
+      run_cli("simulate --months 2 --network=" + file.path());
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find(file.path() + ":2: "), std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, NetworkLinkOutOfRangeIsLineNumbered) {
+  const TempFile file("net-range.txt",
+                      "network 2\nlink 0 1 100 0.1\nlink 0 9 100 0.1\n");
+  const CliResult result =
+      run_cli("simulate --months 2 --network=" + file.path());
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find(file.path() + ":3: "), std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, MissingNetworkFileExitsNonZero) {
+  const CliResult result =
+      run_cli("simulate --months 2 --network=/nonexistent/net.txt");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("cannot open"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, MalformedFailuresFileIsLineNumbered) {
+  const TempFile file("faults.txt", "failures 2\nbogus 1 2\n");
+  const CliResult result =
+      run_cli("grid --months 2 --failures=" + file.path());
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find(file.path() + ":2: "), std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, FailuresFileWithoutHeaderIsLineNumbered) {
+  const TempFile file("faults-nohdr.txt", "mtbf 0 100 10\n");
+  const CliResult result =
+      run_cli("grid --months 2 --failures=" + file.path());
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find(file.path() + ":1: "), std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, ConflictingFailureAndClusterOptions) {
+  const CliResult result =
+      run_cli("simulate --months 2 --clusters 3 --failures");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("not supported"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, GoodPathsStillExitZero) {
+  // Guard the guards: the error harness itself must not flag healthy runs.
+  EXPECT_EQ(run_cli("simulate --months 2").exit_code, 0);
+  const TempFile file("net-ok.txt",
+                      "network 2\ninter_default 100 0.01\nintra_default 1000 "
+                      "0.001\n");
+  EXPECT_EQ(run_cli("simulate --months 2 --clusters 2 --network=" +
+                    file.path())
+                .exit_code,
+            0);
+}
+
+}  // namespace

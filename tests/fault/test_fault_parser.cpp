@@ -68,27 +68,28 @@ std::string message_of(const std::string& text) {
 
 TEST(FaultParser, ErrorsCarryLineNumbers) {
   // Directive before the header.
-  EXPECT_NE(message_of("mtbf 0 100 10\n").find("line 1"), std::string::npos);
+  EXPECT_NE(message_of("mtbf 0 100 10\n").find("failures:1: "), std::string::npos);
   // Unknown directive.
-  EXPECT_NE(message_of("failures 2\nbogus 1 2\n").find("line 2"),
+  EXPECT_NE(message_of("failures 2\nbogus 1 2\n").find("failures:2: "),
             std::string::npos);
   EXPECT_NE(message_of("failures 2\nbogus 1 2\n").find("bogus"),
             std::string::npos);
   // Duplicate header.
-  EXPECT_NE(message_of("failures 2\nfailures 2\n").find("line 2"),
+  EXPECT_NE(message_of("failures 2\nfailures 2\n").find("failures:2: "),
             std::string::npos);
   // Bad cluster id.
-  EXPECT_NE(message_of("failures 2\nmtbf 5 100 10\n").find("line 2"),
+  EXPECT_NE(message_of("failures 2\nmtbf 5 100 10\n").find("failures:2: "),
             std::string::npos);
   // A blank/comment line still advances the line counter.
   EXPECT_NE(
-      message_of("failures 2\n# comment\n\nmtbf 0 -100 10\n").find("line 4"),
+      message_of("failures 2\n# comment\n\nmtbf 0 -100 10\n")
+          .find("failures:4: "),
       std::string::npos);
 }
 
 TEST(FaultParser, RejectsNegativeMtbf) {
   const std::string message = message_of("failures 1\nmtbf 0 -86400 3600\n");
-  EXPECT_NE(message.find("line 2"), std::string::npos);
+  EXPECT_NE(message.find("failures:2: "), std::string::npos);
   EXPECT_NE(message.find("positive MTBF"), std::string::npos);
   EXPECT_NE(message_of("failures 1\nweibull 0 0.7 -1 10\n").find("MTBF"),
             std::string::npos);
@@ -99,16 +100,16 @@ TEST(FaultParser, RejectsNegativeMtbf) {
 TEST(FaultParser, RejectsTruncatedLines) {
   // mtbf missing the MTTR field.
   const std::string message = message_of("failures 1\nmtbf 0 86400\n");
-  EXPECT_NE(message.find("line 2"), std::string::npos);
+  EXPECT_NE(message.find("failures:2: "), std::string::npos);
   EXPECT_NE(message.find("MTTR"), std::string::npos);
   // outage missing the duration.
-  EXPECT_NE(message_of("failures 1\noutage 0 100\n").find("line 2"),
+  EXPECT_NE(message_of("failures 1\noutage 0 100\n").find("failures:2: "),
             std::string::npos);
   // weibull missing everything after the cluster.
-  EXPECT_NE(message_of("failures 1\nweibull 0\n").find("line 2"),
+  EXPECT_NE(message_of("failures 1\nweibull 0\n").find("failures:2: "),
             std::string::npos);
   // header missing the count.
-  EXPECT_NE(message_of("failures\n").find("line 1"), std::string::npos);
+  EXPECT_NE(message_of("failures\n").find("failures:1: "), std::string::npos);
 }
 
 TEST(FaultParser, RejectsOtherBadValues) {
@@ -123,8 +124,8 @@ TEST(FaultParser, RejectsOtherBadValues) {
 }
 
 TEST(FaultParser, RequiresHeader) {
-  EXPECT_NE(message_of("").find("no 'failures'"), std::string::npos);
-  EXPECT_NE(message_of("# only comments\n\n").find("no 'failures'"),
+  EXPECT_NE(message_of("").find("no 'failures"), std::string::npos);
+  EXPECT_NE(message_of("# only comments\n\n").find("no 'failures"),
             std::string::npos);
 }
 

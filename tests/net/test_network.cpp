@@ -101,16 +101,18 @@ TEST(NetworkParser, ErrorsCarryLineNumbers) {
     }
     return std::string("no error");
   };
-  EXPECT_NE(message_of("link 0 1 10 0\n").find("line 1"), std::string::npos);
-  EXPECT_NE(message_of("network 2\nbogus 1 2\n").find("line 2"),
+  // Unified "<source>:<line>: message" diagnostics (common/parse_error.hpp).
+  EXPECT_NE(message_of("link 0 1 10 0\n").find("network:1: "),
             std::string::npos);
-  EXPECT_NE(message_of("network 2\nlink 0 0 10 0\n").find("line 2"),
+  EXPECT_NE(message_of("network 2\nbogus 1 2\n").find("network:2: "),
             std::string::npos);
-  EXPECT_NE(message_of("network 2\nlink 0 5 10 0\n").find("line 2"),
+  EXPECT_NE(message_of("network 2\nlink 0 0 10 0\n").find("network:2: "),
+            std::string::npos);
+  EXPECT_NE(message_of("network 2\nlink 0 5 10 0\n").find("network:2: "),
             std::string::npos);
   EXPECT_NE(message_of("network 2\nlink 0 1 -3 0\n").find("bandwidth"),
             std::string::npos);
-  EXPECT_NE(message_of("").find("no 'network'"), std::string::npos);
+  EXPECT_NE(message_of("").find("no 'network"), std::string::npos);
 }
 
 TEST(NetworkParser, WriteParseRoundTripsExactly) {

@@ -1,0 +1,134 @@
+/// \file test_gen.cpp
+/// \brief materialize() determinism and the structural guarantees every
+/// generated world must satisfy (the invariants lean on these).
+
+#include "testkit/gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "fault/failure.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/spec.hpp"
+
+namespace oagrid::testkit {
+namespace {
+
+void expect_same_grid(const platform::Grid& a, const platform::Grid& b) {
+  ASSERT_EQ(a.cluster_count(), b.cluster_count());
+  for (int c = 0; c < a.cluster_count(); ++c) {
+    const auto& ca = a.cluster(c);
+    const auto& cb = b.cluster(c);
+    EXPECT_EQ(ca.resources(), cb.resources());
+    EXPECT_EQ(ca.min_group(), cb.min_group());
+    EXPECT_DOUBLE_EQ(ca.post_time(), cb.post_time());
+    const std::span<const Seconds> ta = ca.main_times();
+    const std::span<const Seconds> tb = cb.main_times();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+  }
+}
+
+TEST(Materialize, IsAPureFunctionOfTheSpec) {
+  for (std::uint64_t index = 0; index < 12; ++index) {
+    const CaseSpec spec = spec_for_case(3, index);
+    const Case a = materialize(spec);
+    const Case b = materialize(spec);
+    expect_same_grid(a.grid, b.grid);
+    EXPECT_EQ(a.ensemble.scenarios, b.ensemble.scenarios);
+    EXPECT_EQ(a.ensemble.months, b.ensemble.months);
+    EXPECT_EQ(a.network, b.network);
+    EXPECT_EQ(a.failures.signature(), b.failures.signature());
+    ASSERT_EQ(a.schedule.size(), b.schedule.size());
+    for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+      EXPECT_EQ(a.schedule[i].spec.owner, b.schedule[i].spec.owner);
+      EXPECT_EQ(a.schedule[i].spec.scenarios, b.schedule[i].spec.scenarios);
+      EXPECT_EQ(a.schedule[i].spec.months, b.schedule[i].spec.months);
+      EXPECT_DOUBLE_EQ(a.schedule[i].spec.weight, b.schedule[i].spec.weight);
+      EXPECT_DOUBLE_EQ(a.schedule[i].at, b.schedule[i].at);
+    }
+  }
+}
+
+TEST(Materialize, HonoursEveryKnob) {
+  for (std::uint64_t index = 0; index < 40; ++index) {
+    const CaseSpec spec = spec_for_case(21, index);
+    const Case world = materialize(spec);
+    EXPECT_EQ(world.grid.cluster_count(), spec.clusters);
+    EXPECT_EQ(world.ensemble.scenarios, spec.scenarios);
+    EXPECT_EQ(world.ensemble.months, spec.months);
+    // net_kind/fault_kind 0 mean "subsystem absent", not "default model".
+    EXPECT_EQ(world.network.cluster_count() == 0, spec.net_kind == 0);
+    EXPECT_EQ(world.failures.cluster_count() == 0, spec.fault_kind == 0);
+    EXPECT_EQ(world.schedule.size(),
+              static_cast<std::size_t>(spec.campaigns));
+    EXPECT_GE(world.checkpoint_months, 1);
+    EXPECT_LE(world.checkpoint_months,
+              static_cast<MonthIndex>(spec.months));
+  }
+}
+
+TEST(Materialize, AtLeastOneClusterSurvivesTheFailureModel) {
+  // kDown clusters never run anything; if every cluster were down, every
+  // simulation would stall forever. The generator budgets clusters-1 downs.
+  for (std::uint64_t index = 0; index < 60; ++index) {
+    const Case world = materialize(spec_for_case(77, index));
+    if (world.failures.cluster_count() == 0) continue;
+    int alive = 0;
+    for (int c = 0; c < world.failures.cluster_count(); ++c)
+      if (world.failures.process(c).kind != fault::ProcessKind::kDown)
+        ++alive;
+    EXPECT_GE(alive, 1) << "case " << index << " generated an all-down grid";
+  }
+}
+
+TEST(Materialize, ScheduleArrivalsAreNondecreasing) {
+  for (std::uint64_t index = 0; index < 40; ++index) {
+    const Case world = materialize(spec_for_case(13, index));
+    for (std::size_t i = 1; i < world.schedule.size(); ++i)
+      EXPECT_GE(world.schedule[i].at, world.schedule[i - 1].at);
+    for (const ServiceEntry& entry : world.schedule) {
+      EXPECT_GE(entry.spec.scenarios, 1);
+      EXPECT_GE(entry.spec.months, 1);
+      EXPECT_GT(entry.spec.weight, 0.0);
+    }
+  }
+}
+
+TEST(Materialize, DivisibleTablesMakeTheAnalyticModelExact) {
+  // The whole point of divisible_tables: T[G] are integer multiples of a
+  // common period, so closed-form and DES makespans agree bit-for-bit. If
+  // this drifts, the analytic-vs-des invariant silently loses its exact arm.
+  const Invariant* invariant = find_invariant("analytic-vs-des");
+  ASSERT_NE(invariant, nullptr);
+  int divisible_cases = 0;
+  for (std::uint64_t index = 0; index < 40 && divisible_cases < 8; ++index) {
+    CaseSpec spec = spec_for_case(5, index);
+    if (!spec.divisible_tables) continue;
+    ++divisible_cases;
+    const auto violation = invariant->check(materialize(spec));
+    EXPECT_FALSE(violation.has_value()) << *violation;
+  }
+  EXPECT_GE(divisible_cases, 8) << "generator stopped producing divisible "
+                                   "tables; exactness arm never runs";
+}
+
+TEST(RandomTransfers, StaysInsideTheCluster_Range) {
+  for (std::uint64_t index = 0; index < 20; ++index) {
+    const CaseSpec spec = spec_for_case(31, index);
+    const auto transfers = random_transfers(spec, spec.clusters);
+    EXPECT_FALSE(transfers.empty());
+    for (const auto& transfer : transfers) {
+      EXPECT_GE(transfer.src, 0);
+      EXPECT_LT(transfer.src, spec.clusters);
+      EXPECT_GE(transfer.dst, 0);
+      EXPECT_LT(transfer.dst, spec.clusters);
+      EXPECT_GE(transfer.size_mb, 0.0);
+      EXPECT_GE(transfer.start, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oagrid::testkit

@@ -1,0 +1,151 @@
+/// \file test_runner.cpp
+/// \brief Greedy shrinking, environment plumbing and small campaigns.
+
+#include "testkit/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace oagrid::testkit {
+namespace {
+
+/// setenv/unsetenv wrapper that restores the previous state on scope exit so
+/// tests cannot leak environment into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) previous_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (previous_)
+      ::setenv(name_, previous_->c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> previous_;
+};
+
+TEST(ShrinkSpec, MinimizesToTheSmallestStillFailingSpec) {
+  CaseSpec start = spec_for_case(9, 2);
+  start.months = 12;  // guarantee the predicate fails at the start
+  start.clamp();
+  const SpecPredicate predicate =
+      [](const CaseSpec& spec) -> std::optional<std::string> {
+    if (spec.months >= 2) return "months >= 2";
+    return std::nullopt;
+  };
+  const ShrinkResult result = shrink_spec(start, "months >= 2", predicate, 64);
+  // Everything irrelevant to the predicate collapses to its minimum; the
+  // one load-bearing knob stops exactly at the failure boundary.
+  EXPECT_EQ(result.spec.months, 2);
+  EXPECT_EQ(result.spec.fault_kind, 0);
+  EXPECT_EQ(result.spec.net_kind, 0);
+  EXPECT_EQ(result.spec.campaigns, 0);
+  EXPECT_EQ(result.spec.scenarios, 1);
+  EXPECT_EQ(result.spec.clusters, 1);
+  EXPECT_EQ(result.message, "months >= 2");
+  EXPECT_GT(result.steps, 0);
+}
+
+TEST(ShrinkSpec, StopsWhenNoCandidateFails) {
+  const CaseSpec start = spec_for_case(9, 4);
+  const SpecPredicate predicate =
+      [&start](const CaseSpec& spec) -> std::optional<std::string> {
+    if (spec == start) return "only the original fails";
+    return std::nullopt;
+  };
+  const ShrinkResult result = shrink_spec(start, "original", predicate, 64);
+  EXPECT_EQ(result.spec, start);
+  EXPECT_EQ(result.steps, 0);
+  EXPECT_EQ(result.message, "original");
+}
+
+TEST(ShrinkSpec, RespectsTheStepBudget) {
+  const CaseSpec start = spec_for_case(9, 6);
+  const SpecPredicate predicate =
+      [](const CaseSpec&) -> std::optional<std::string> {
+    return "always fails";
+  };
+  const ShrinkResult result = shrink_spec(start, "always", predicate, 3);
+  EXPECT_LE(result.steps, 3);
+}
+
+TEST(ApplyEnv, EnvironmentFillsUnsetFields) {
+  const ScopedEnv seed("OAGRID_PROPTEST_SEED", "123");
+  const ScopedEnv iters("OAGRID_PROPTEST_ITERS", "5");
+  const RunOptions resolved = apply_env(RunOptions{});
+  EXPECT_EQ(resolved.seed, 123u);
+  EXPECT_EQ(resolved.iterations, 5);
+}
+
+TEST(ApplyEnv, ExplicitFlagsBeatTheEnvironment) {
+  const ScopedEnv seed("OAGRID_PROPTEST_SEED", "123");
+  const ScopedEnv iters("OAGRID_PROPTEST_ITERS", "5");
+  RunOptions options;
+  options.seed = 7;
+  options.seed_explicit = true;
+  options.iterations = 2;
+  options.iterations_explicit = true;
+  const RunOptions resolved = apply_env(options);
+  EXPECT_EQ(resolved.seed, 7u);
+  EXPECT_EQ(resolved.iterations, 2);
+}
+
+TEST(ApplyEnv, MalformedValuesAreIgnored) {
+  const ScopedEnv seed("OAGRID_PROPTEST_SEED", "not-a-number");
+  const ScopedEnv iters("OAGRID_PROPTEST_ITERS", "");
+  const RunOptions resolved = apply_env(RunOptions{});
+  EXPECT_EQ(resolved.seed, kDefaultSeed);
+  EXPECT_EQ(resolved.iterations, kDefaultIterations);
+}
+
+TEST(RunProperties, SmallCleanCampaignPasses) {
+  RunOptions options;
+  options.seed = 404;
+  options.seed_explicit = true;
+  options.iterations = 3;
+  options.iterations_explicit = true;
+  options.only_invariant = "parser-round-trip";
+  std::ostringstream out;
+  const RunReport report = run_properties(options, out);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cases_run, 3);
+  EXPECT_EQ(report.checks_run, 3);
+  EXPECT_NE(out.str().find("proptest: 3 cases"), std::string::npos);
+  EXPECT_NE(out.str().find("seed 404"), std::string::npos);
+}
+
+TEST(RunProperties, ExplicitSpecRunsExactlyOneCase) {
+  RunOptions options;
+  options.explicit_spec = "seed=5,clusters=2,scenarios=2,months=3";
+  options.only_invariant = "lower-bounds";
+  std::ostringstream out;
+  const RunReport report = run_properties(options, out);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cases_run, 1);
+}
+
+TEST(RunProperties, SingleCaseReplayMatchesTheCampaignStream) {
+  // --seed/--case repro contract: replaying index k alone must check the
+  // same world the full campaign checked at index k.
+  RunOptions options;
+  options.seed = 12;
+  options.seed_explicit = true;
+  options.only_case = 4;
+  options.only_invariant = "eval-cache-identity";
+  std::ostringstream out;
+  const RunReport report = run_properties(options, out);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cases_run, 1);
+}
+
+}  // namespace
+}  // namespace oagrid::testkit

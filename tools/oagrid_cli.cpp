@@ -139,7 +139,7 @@ std::optional<net::NetworkModel> network_from(const ArgParser& args,
   if (file.empty()) return net::renater_network(clusters);
   std::ifstream in(file);
   if (!in) throw std::invalid_argument("cannot open " + file);
-  net::NetworkModel model = net::parse_network(in);
+  net::NetworkModel model = net::parse_network(in, file);
   if (model.cluster_count() != clusters)
     throw std::invalid_argument(
         "network file covers " + std::to_string(model.cluster_count()) +
@@ -180,7 +180,7 @@ std::optional<fault::FailureModel> fault_model_from(const ArgParser& args,
         static_cast<std::uint64_t>(args.get_int("fault-seed")));
   std::ifstream in(file);
   if (!in) throw std::invalid_argument("cannot open " + file);
-  fault::FailureModel model = fault::parse_failures(in);
+  fault::FailureModel model = fault::parse_failures(in, file);
   if (model.cluster_count() != clusters)
     throw std::invalid_argument(
         "failure file covers " + std::to_string(model.cluster_count()) +
