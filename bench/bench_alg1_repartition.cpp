@@ -1,72 +1,92 @@
 /// \file bench_alg1_repartition.cpp
-/// \brief Evaluates Algorithm 1 (greedy DAG repartition) against the
-/// exhaustive optimum: solution quality on real performance vectors (always
-/// optimal, as the monotonicity argument predicts) and wall-clock cost of
-/// both, demonstrating why the paper calls the greedy "realistic".
+/// \brief Microbenchmarks of Algorithm 1 (greedy DAG repartition over
+/// heterogeneous clusters) on synthetic monotone performance vectors — the
+/// shape real simulations produce. Google-benchmark binary with --bench-json
+/// support.
+///
+/// The greedy series measures the heap-driven O(NS log C) placement loop
+/// (historically an O(NS * C) rescan of every cluster per scenario); the
+/// charged series adds a per-placement network/failure charge; the brute
+/// force series keeps the exhaustive oracle honest at a size where its
+/// exponential enumeration is still affordable.
 
-#include <chrono>
-#include <iostream>
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
-#include "common/table.hpp"
-#include "platform/profiles.hpp"
-#include "sim/perf_vector.hpp"
+#include "sched/repartition.hpp"
 
-int main() {
-  using namespace oagrid;
-  bench::banner("Algorithm 1 (DAGs repartition on several clusters)",
-                "Greedy vs exhaustive optimum: quality and cost");
+namespace {
 
-  const Count ns = 10;
-  const Count nm = 24;
+using namespace oagrid;
 
-  TableWriter table({"platform", "clusters", "greedy makespan", "optimal",
-                     "greedy optimal?", "greedy [us]", "brute force [us]"});
-
-  auto run_case = [&](const std::string& name,
-                      const std::vector<sched::PerformanceVector>& perf) {
-    using clock = std::chrono::steady_clock;
-    const auto t0 = clock::now();
-    const auto greedy = sched::greedy_repartition(perf, ns);
-    const auto t1 = clock::now();
-    const auto best = sched::brute_force_repartition(perf, ns);
-    const auto t2 = clock::now();
-    const auto us = [](auto d) {
-      return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
-    };
-    table.add_row({name, std::to_string(perf.size()), fmt(greedy.makespan, 0),
-                   fmt(best.makespan, 0),
-                   std::abs(greedy.makespan - best.makespan) < 1e-6 ? "yes"
-                                                                    : "NO",
-                   std::to_string(us(t1 - t0)), std::to_string(us(t2 - t1))});
-  };
-
-  // Built-in heterogeneous grids at several sizes.
-  for (const ProcCount r : {15, 25, 40, 60}) {
-    for (int n = 2; n <= 5; ++n) {
-      const auto grid = platform::make_builtin_grid(r).prefix(n);
-      std::vector<sched::PerformanceVector> perf;
-      for (const auto& cluster : grid.clusters())
-        perf.push_back(sim::performance_vector(cluster, ns, nm,
-                                               sched::Heuristic::kKnapsack));
-      run_case("builtin R=" + std::to_string(r), perf);
+/// Random strictly-monotone vectors: cluster c runs k scenarios in an
+/// increasing time, like every simulated performance vector.
+std::vector<sched::PerformanceVector> monotone_vectors(int clusters, Count ns,
+                                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<sched::PerformanceVector> perf(
+      static_cast<std::size_t>(clusters));
+  for (auto& vec : perf) {
+    Seconds t = rng.uniform(100.0, 2000.0);
+    vec.reserve(static_cast<std::size_t>(ns));
+    for (Count k = 0; k < ns; ++k) {
+      vec.push_back(t);
+      t += rng.uniform(10.0, 500.0);
     }
   }
+  return perf;
+}
 
-  // Random heterogeneous grids.
-  Rng rng(314);
-  for (int trial = 0; trial < 4; ++trial) {
-    const auto grid = platform::make_random_grid(4, 12, 80, rng);
-    std::vector<sched::PerformanceVector> perf;
-    for (const auto& cluster : grid.clusters())
-      perf.push_back(sim::performance_vector(cluster, ns, nm,
-                                             sched::Heuristic::kKnapsack));
-    run_case("random #" + std::to_string(trial), perf);
-  }
+/// Args: {clusters, scenarios}.
+void BM_GreedyRepartition(benchmark::State& state) {
+  const auto perf = monotone_vectors(static_cast<int>(state.range(0)),
+                                     state.range(1), 314);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched::greedy_repartition(perf, state.range(1)));
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_GreedyRepartition)
+    ->Args({4, 200})
+    ->Args({32, 2000})
+    ->Args({256, 10000});
 
-  table.print(std::cout);
-  std::cout << "\nGreedy is optimal on every monotone vector set (the shape "
-               "simulation produces), at a fraction of the enumeration cost.\n";
+/// Same loop with a placement charge folded into every candidate (the
+/// network-aware scheduler's path).
+void BM_GreedyRepartitionCharged(benchmark::State& state) {
+  const auto perf = monotone_vectors(static_cast<int>(state.range(0)),
+                                     state.range(1), 159);
+  const sched::PlacementCharge charge = [](std::size_t cluster, Count k) {
+    return 0.25 * static_cast<double>(cluster + 1) * static_cast<double>(k);
+  };
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sched::greedy_repartition_charged(perf, state.range(1), charge));
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_GreedyRepartitionCharged)->Args({32, 2000})->Args({256, 10000});
+
+/// The exhaustive oracle at a small size (compositions of NS into C parts),
+/// for scale against the greedy above.
+void BM_BruteForceRepartition(benchmark::State& state) {
+  const auto perf = monotone_vectors(static_cast<int>(state.range(0)),
+                                     state.range(1), 265);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sched::brute_force_repartition(perf, state.range(1)));
+}
+BENCHMARK(BM_BruteForceRepartition)->Args({4, 12});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json = oagrid::bench::extract_bench_json(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  oagrid::bench::run_benchmarks(json);
+  benchmark::Shutdown();
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 
@@ -68,57 +69,158 @@ bool better_solution(const Solution& a, const Solution& b) {
   return a.items_used < b.items_used;
 }
 
-Solution solve_dp(const Problem& problem) {
+namespace {
+
+/// One terminal DP state, tracked with the documented tie-break scan order
+/// (value desc via strict improvement, then smallest k, then smallest w —
+/// which realizes "fewer processors, then fewer groups" on this table).
+struct BestState {
+  double value = 0.0;
+  std::size_t k = 0;
+  std::size_t w = 0;
+};
+
+/// The DP sweep shared by solve_dp and solve_dp_family.
+///
+/// dp[k*(cap+1) + w] = best value using exactly k items of total weight
+/// exactly w; choice is the item index of the last item added to reach that
+/// state (-1 = unreached). Both tables are single contiguous arenas with row
+/// stride cap+1: the sweep touches two adjacent rows linearly instead of
+/// chasing per-row heap blocks. Only two value rows are live at a time
+/// (row k reads only row k-1), so `dp` holds 2 rows while `choice` — needed
+/// later for backtracking — keeps all of them.
+///
+/// The item relaxation runs item-outer / weight-inner: for each item the
+/// inner loop is a branch-light linear pass `cand = prev[w-wi] + vi; if
+/// (cand > row[w]) update`, which auto-vectorizes and needs no kNegInf
+/// test (-inf + vi stays -inf and never wins a strict comparison). The pass
+/// is clipped to the reachable-weight frontier — row k-1 only holds finite
+/// values in [(k-1)*min_w, (k-1)*max_w] — so dead cells are skipped rather
+/// than relaxed. Cell update order per (k, w) is item-ascending with strict
+/// `>`, exactly the historical nested-loop order, so values, choices and
+/// tie-breaks are bit-identical to the textbook formulation.
+///
+/// `best_after_row[r]` is the best terminal state over rows 0..r under the
+/// tie-break scan; solve_dp reads the last entry, solve_dp_family reads one
+/// entry per cardinality cap.
+struct DpSweep {
+  std::size_t k_max = 0;
+  std::size_t stride = 0;               ///< cap + 1
+  std::vector<std::int16_t> choice;     ///< (k_max+1) x stride arena
+  std::vector<BestState> best_after_row;
+
+  [[nodiscard]] Solution extract(const Problem& problem,
+                                 const BestState& best) const {
+    std::vector<Count> counts(problem.items.size(), 0);
+    for (std::size_t k = best.k, w = best.w; k > 0;) {
+      const std::int16_t i = choice[k * stride + w];
+      ++counts[static_cast<std::size_t>(i)];
+      w -= static_cast<std::size_t>(
+          problem.items[static_cast<std::size_t>(i)].weight);
+      --k;
+    }
+    return make_solution(problem, std::move(counts));
+  }
+};
+
+DpSweep run_dp_sweep(const Problem& problem) {
   validate(problem);
+  OAGRID_REQUIRE(
+      problem.items.size() <=
+          static_cast<std::size_t>(std::numeric_limits<std::int16_t>::max()),
+      "too many item kinds for the int16 choice arena");
   const auto n_items = problem.items.size();
   const auto cap = static_cast<std::size_t>(problem.capacity);
   // The cardinality axis never needs to exceed capacity / min weight.
   int min_weight = std::numeric_limits<int>::max();
-  for (const Item& item : problem.items) min_weight = std::min(min_weight, item.weight);
+  int max_weight = 0;
+  for (const Item& item : problem.items) {
+    min_weight = std::min(min_weight, item.weight);
+    max_weight = std::max(max_weight, item.weight);
+  }
   const auto k_max = static_cast<std::size_t>(std::min<long long>(
       problem.max_items, problem.capacity / std::max(min_weight, 1)));
 
-  // dp[k][w] = best value using exactly k items of total weight exactly w.
-  // choice[k][w] = item index of the last item added to reach that state.
-  std::vector<std::vector<double>> dp(k_max + 1,
-                                      std::vector<double>(cap + 1, kNegInf));
-  std::vector<std::vector<int>> choice(k_max + 1, std::vector<int>(cap + 1, -1));
-  dp[0][0] = 0.0;
+  DpSweep sweep;
+  sweep.k_max = k_max;
+  sweep.stride = cap + 1;
+  sweep.choice.assign((k_max + 1) * sweep.stride, std::int16_t{-1});
+  sweep.best_after_row.reserve(k_max + 1);
+
+  // Two-row value arena: `prev` = row k-1, `cur` = row k.
+  std::vector<double> values(2 * sweep.stride, kNegInf);
+  double* prev = values.data();
+  double* cur = values.data() + sweep.stride;
+  prev[0] = 0.0;
+
+  BestState best;  // row 0: dp[0][0] = 0.0 never strictly beats the 0.0 seed
+  sweep.best_after_row.push_back(best);
 
   for (std::size_t k = 1; k <= k_max; ++k) {
-    for (std::size_t w = 0; w <= cap; ++w) {
-      for (std::size_t i = 0; i < n_items; ++i) {
-        const auto wi = static_cast<std::size_t>(problem.items[i].weight);
-        if (wi > w || dp[k - 1][w - wi] == kNegInf) continue;
-        const double candidate = dp[k - 1][w - wi] + problem.items[i].value;
-        if (candidate > dp[k][w]) {
-          dp[k][w] = candidate;
-          choice[k][w] = static_cast<int>(i);
+    // Reachable frontier of row k-1: finite cells live only where k-1 items
+    // can land, so the relaxation of item i needs w in [prev_lo+wi,
+    // min(cap, prev_hi+wi)] — everything else keeps kNegInf untouched.
+    const std::size_t prev_lo = (k - 1) * static_cast<std::size_t>(min_weight);
+    const std::size_t prev_hi = std::min(
+        cap, (k - 1) * static_cast<std::size_t>(max_weight));
+    std::fill(cur, cur + sweep.stride, kNegInf);
+    std::int16_t* crow = sweep.choice.data() + k * sweep.stride;
+    for (std::size_t i = 0; i < n_items; ++i) {
+      const auto wi = static_cast<std::size_t>(problem.items[i].weight);
+      if (prev_lo + wi > cap) continue;  // every target cell is off the table
+      const double vi = problem.items[i].value;
+      const std::size_t w_hi = std::min(cap, prev_hi + wi);
+      const auto item = static_cast<std::int16_t>(i);
+      for (std::size_t w = prev_lo + wi; w <= w_hi; ++w) {
+        const double candidate = prev[w - wi] + vi;
+        if (candidate > cur[w]) {
+          cur[w] = candidate;
+          crow[w] = item;
         }
       }
     }
+    // Fold row k into the running best, preserving the historical full-table
+    // scan order ((k, w) ascending, strict improvement only).
+    const std::size_t lo = k * static_cast<std::size_t>(min_weight);
+    const std::size_t hi = std::min(cap, k * static_cast<std::size_t>(max_weight));
+    for (std::size_t w = lo; w <= hi; ++w)
+      if (cur[w] != kNegInf && value_strictly_greater(cur[w], best.value))
+        best = BestState{cur[w], k, w};
+    sweep.best_after_row.push_back(best);
+    std::swap(prev, cur);
   }
+  return sweep;
+}
 
-  // Best terminal state under the documented tie-break (value desc, weight
-  // asc, items asc): scan in (k, w) ascending and keep strict improvements.
-  std::size_t best_k = 0, best_w = 0;
-  double best_value = 0.0;
-  for (std::size_t k = 0; k <= k_max; ++k)
-    for (std::size_t w = 0; w <= cap; ++w)
-      if (dp[k][w] != kNegInf && value_strictly_greater(dp[k][w], best_value)) {
-        best_value = dp[k][w];
-        best_k = k;
-        best_w = w;
-      }
+}  // namespace
 
-  std::vector<Count> counts(n_items, 0);
-  for (std::size_t k = best_k, w = best_w; k > 0;) {
-    const int i = choice[k][w];
-    ++counts[static_cast<std::size_t>(i)];
-    w -= static_cast<std::size_t>(problem.items[static_cast<std::size_t>(i)].weight);
-    --k;
+Solution solve_dp(const Problem& problem) {
+  const DpSweep sweep = run_dp_sweep(problem);
+  return sweep.extract(problem, sweep.best_after_row.back());
+}
+
+std::vector<Solution> solve_dp_family(const Problem& problem) {
+  const DpSweep sweep = run_dp_sweep(problem);
+  std::vector<Solution> family;
+  family.reserve(static_cast<std::size_t>(problem.max_items));
+  std::size_t last_k = 0, last_w = 0;
+  for (Count k = 1; k <= problem.max_items; ++k) {
+    // The sub-problem capped at k scans rows 0..min(k, k_max); its answer is
+    // the prefix best after that row.
+    const std::size_t row = std::min(static_cast<std::size_t>(k), sweep.k_max);
+    const BestState& best = sweep.best_after_row[row];
+    // Raising the cap often leaves the winning state unchanged (and always
+    // does once the cap stops binding): reuse the previous extraction
+    // instead of re-backtracking the identical state.
+    if (!family.empty() && best.k == last_k && best.w == last_w) {
+      family.push_back(family.back());
+      continue;
+    }
+    last_k = best.k;
+    last_w = best.w;
+    family.push_back(sweep.extract(problem, best));
   }
-  return make_solution(problem, std::move(counts));
+  return family;
 }
 
 namespace {

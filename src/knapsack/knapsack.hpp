@@ -57,8 +57,22 @@ void validate(const Problem& problem);
 /// against the instance. Used by tests and by solver postconditions.
 [[nodiscard]] bool is_feasible(const Problem& problem, const Solution& solution);
 
-/// Exact dynamic program (production solver).
+/// Exact dynamic program (production solver). The sweep runs over flat
+/// contiguous arenas (row stride capacity+1) with the item relaxation as a
+/// branch-light linear pass per row, restricted to the reachable-weight
+/// frontier [k*min_weight, k*max_weight] — identical results to the textbook
+/// nested-table formulation, tie-breaks included.
 [[nodiscard]] Solution solve_dp(const Problem& problem);
+
+/// Single-pass family solve: the optimal solution for *every* cardinality
+/// cap k = 1..max_items, extracted from one DP sweep. The dp table is
+/// indexed by exact item count, so the answer under cap k is the best
+/// terminal state over rows 0..k — a prefix scan, not a new solve. Exact,
+/// not a heuristic: result[k-1] is bit-identical (counts, value, weight,
+/// tie-breaks) to solve_dp on the same problem with max_items = k. One
+/// family call replaces max_items independent solve_dp calls; §5 performance
+/// vectors are built this way.
+[[nodiscard]] std::vector<Solution> solve_dp_family(const Problem& problem);
 
 /// Exact branch-and-bound with fractional relaxation bound.
 [[nodiscard]] Solution solve_branch_bound(const Problem& problem);

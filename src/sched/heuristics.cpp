@@ -100,32 +100,36 @@ GroupSchedule all_for_main_grouping(const platform::Cluster& cluster,
   return schedule;
 }
 
-GroupSchedule knapsack_grouping(const platform::Cluster& cluster,
-                                const appmodel::Ensemble& ensemble) {
-  ensemble.validate();
-  OAGRID_REQUIRE(cluster.resources() >= cluster.min_group(),
-                 "cluster too small for any group");
+namespace {
+
+/// The §4.2 item universe for `cluster` with a cardinality cap of
+/// `scenarios` groups (never more groups than runnable scenarios).
+knapsack::Problem knapsack_problem_for(const platform::Cluster& cluster,
+                                       Count scenarios) {
   knapsack::Problem problem;
   for (ProcCount g = cluster.min_group(); g <= cluster.max_group(); ++g)
-    problem.items.push_back(
-        knapsack::Item{g, 1.0 / cluster.main_time(g)});
+    problem.items.push_back(knapsack::Item{g, 1.0 / cluster.main_time(g)});
   problem.capacity = cluster.resources();
-  problem.max_items = ensemble.scenarios;
-  if (obs::enabled()) {
-    // DP state space (k <= capacity/min_weight cardinality rows, capacity+1
-    // weight columns, one relaxation per item kind) — the work solve_dp does.
-    const long long k_rows =
-        std::min<long long>(problem.max_items,
-                            problem.capacity / cluster.min_group()) +
-        1;
-    obs::metrics()
-        .counter("sched.knapsack.dp_cells")
-        .add(static_cast<std::uint64_t>(
-            k_rows * (static_cast<long long>(problem.capacity) + 1) *
-            static_cast<long long>(problem.items.size())));
-  }
-  const knapsack::Solution solution = knapsack::solve_dp(problem);
+  problem.max_items = scenarios;
+  return problem;
+}
 
+/// DP state space (k <= capacity/min_weight cardinality rows, capacity+1
+/// weight columns, one relaxation per item kind) — the work a DP sweep does.
+void count_dp_cells(const knapsack::Problem& problem, ProcCount min_group) {
+  const long long k_rows =
+      std::min<long long>(problem.max_items, problem.capacity / min_group) + 1;
+  obs::metrics()
+      .counter("sched.knapsack.dp_cells")
+      .add(static_cast<std::uint64_t>(
+          k_rows * (static_cast<long long>(problem.capacity) + 1) *
+          static_cast<long long>(problem.items.size())));
+}
+
+/// Turns one knapsack solution into the paper's grouping decision: one group
+/// per selected item (sizes descending), leftovers to the post pool.
+GroupSchedule schedule_from_solution(const platform::Cluster& cluster,
+                                     const knapsack::Solution& solution) {
   GroupSchedule schedule;
   for (std::size_t i = 0; i < solution.counts.size(); ++i) {
     const ProcCount size = cluster.min_group() + static_cast<ProcCount>(i);
@@ -138,6 +142,42 @@ GroupSchedule knapsack_grouping(const platform::Cluster& cluster,
   schedule.post_policy = PostPolicy::kPoolThenRetired;
   schedule.validate(cluster);
   return schedule;
+}
+
+}  // namespace
+
+GroupSchedule knapsack_grouping(const platform::Cluster& cluster,
+                                const appmodel::Ensemble& ensemble) {
+  ensemble.validate();
+  OAGRID_REQUIRE(cluster.resources() >= cluster.min_group(),
+                 "cluster too small for any group");
+  const knapsack::Problem problem =
+      knapsack_problem_for(cluster, ensemble.scenarios);
+  if (obs::enabled()) count_dp_cells(problem, cluster.min_group());
+  return schedule_from_solution(cluster, knapsack::solve_dp(problem));
+}
+
+std::vector<GroupSchedule> knapsack_grouping_family(
+    const platform::Cluster& cluster, const appmodel::Ensemble& ensemble) {
+  ensemble.validate();
+  OAGRID_REQUIRE(cluster.resources() >= cluster.min_group(),
+                 "cluster too small for any group");
+  const knapsack::Problem problem =
+      knapsack_problem_for(cluster, ensemble.scenarios);
+  if (obs::enabled()) {
+    count_dp_cells(problem, cluster.min_group());
+    // Solves the per-k route would have paid but the shared sweep does not.
+    obs::metrics()
+        .counter("sched.knapsack.family_reuse")
+        .add(static_cast<std::uint64_t>(ensemble.scenarios - 1));
+  }
+  const std::vector<knapsack::Solution> family =
+      knapsack::solve_dp_family(problem);
+  std::vector<GroupSchedule> schedules;
+  schedules.reserve(family.size());
+  for (const knapsack::Solution& solution : family)
+    schedules.push_back(schedule_from_solution(cluster, solution));
+  return schedules;
 }
 
 namespace {

@@ -42,6 +42,16 @@ enum class Heuristic {
 [[nodiscard]] GroupSchedule knapsack_grouping(
     const platform::Cluster& cluster, const appmodel::Ensemble& ensemble);
 
+/// Family form of Improvement 3: the knapsack grouping for *every* scenario
+/// count k = 1..ensemble.scenarios, all extracted from a single DP sweep
+/// (knapsack::solve_dp_family). result[k-1] is bit-identical to
+/// knapsack_grouping on an ensemble of k scenarios; one call replaces NS
+/// independent DP solves when building a §5 performance vector. Emits the
+/// `sched.knapsack.family_reuse` counter (solves avoided) when observability
+/// is on.
+[[nodiscard]] std::vector<GroupSchedule> knapsack_grouping_family(
+    const platform::Cluster& cluster, const appmodel::Ensemble& ensemble);
+
 /// Dispatch by enum.
 [[nodiscard]] GroupSchedule make_schedule(Heuristic heuristic,
                                           const platform::Cluster& cluster,

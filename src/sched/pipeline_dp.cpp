@@ -26,20 +26,38 @@ struct DpCell {
   ProcCount module_procs = 0;
 };
 
+/// (k+1) x (resources+1) DP table in one contiguous arena (row stride
+/// resources+1) instead of a vector-of-vectors — one allocation, and the
+/// p-inner relaxation walks a single cache line stream.
+struct DpTable {
+  std::size_t stride;
+  std::vector<DpCell> cells;
+
+  DpTable(int k, ProcCount resources)
+      : stride(static_cast<std::size_t>(resources) + 1),
+        cells((static_cast<std::size_t>(k) + 1) * stride) {}
+
+  [[nodiscard]] DpCell& at(int stage_count, ProcCount p) {
+    return cells[static_cast<std::size_t>(stage_count) * stride +
+                 static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const DpCell& at(int stage_count, ProcCount p) const {
+    return cells[static_cast<std::size_t>(stage_count) * stride +
+                 static_cast<std::size_t>(p)];
+  }
+};
+
 PipelinePlan reconstruct(std::span<const PipelineStage> stages,
-                         const std::vector<std::vector<DpCell>>& dp,
-                         int last_stage, ProcCount procs) {
+                         const DpTable& dp, int last_stage, ProcCount procs) {
   PipelinePlan plan;
-  if (dp[static_cast<std::size_t>(last_stage + 1)][static_cast<std::size_t>(procs)]
-          .objective == kInfiniteTime)
+  if (dp.at(last_stage + 1, procs).objective == kInfiniteTime)
     return plan;  // infeasible
 
   int stage = last_stage;
   ProcCount p = procs;
   std::vector<PipelinePlan::Module> reversed;
   while (stage >= 0) {
-    const DpCell& cell =
-        dp[static_cast<std::size_t>(stage + 1)][static_cast<std::size_t>(p)];
+    const DpCell& cell = dp.at(stage + 1, p);
     PipelinePlan::Module mod;
     mod.first_stage = cell.prev_stage + 1;
     mod.last_stage = stage;
@@ -77,25 +95,21 @@ PipelinePlan max_throughput_partition(std::span<const PipelineStage> stages,
   OAGRID_REQUIRE(resources >= 1, "need at least one processor");
   const int k = static_cast<int>(stages.size());
 
-  // dp[i][p]: minimal bottleneck period for stages [0, i) using exactly <= p
-  // processors (monotone in p by construction, we allow slack by letting the
-  // final answer read dp[k][resources]).
-  std::vector<std::vector<DpCell>> dp(
-      static_cast<std::size_t>(k + 1),
-      std::vector<DpCell>(static_cast<std::size_t>(resources + 1)));
-  for (ProcCount p = 0; p <= resources; ++p)
-    dp[0][static_cast<std::size_t>(p)].objective = 0.0;
+  // dp.at(i, p): minimal bottleneck period for stages [0, i) using exactly
+  // <= p processors (monotone in p by construction, we allow slack by letting
+  // the final answer read dp.at(k, resources)).
+  DpTable dp(k, resources);
+  for (ProcCount p = 0; p <= resources; ++p) dp.at(0, p).objective = 0.0;
 
   for (int i = 1; i <= k; ++i) {
     for (ProcCount p = 1; p <= resources; ++p) {
-      DpCell& cell = dp[static_cast<std::size_t>(i)][static_cast<std::size_t>(p)];
+      DpCell& cell = dp.at(i, p);
       // Last module covers stages [j, i-1] on m processors.
       for (int j = 0; j < i; ++j) {
         for (ProcCount m = 1; m <= p; ++m) {
           const Seconds mod_t = module_time(stages, j, i - 1, m);
           if (mod_t == kInfiniteTime) continue;
-          const DpCell& prev =
-              dp[static_cast<std::size_t>(j)][static_cast<std::size_t>(p - m)];
+          const DpCell& prev = dp.at(j, p - m);
           if (prev.objective == kInfiniteTime) continue;
           const Seconds candidate = std::max(prev.objective, mod_t);
           if (candidate < cell.objective) {
@@ -120,21 +134,17 @@ PipelinePlan min_latency_partition(std::span<const PipelineStage> stages,
 
   // Same recurrence with sum instead of max, modules over the period bound
   // rejected.
-  std::vector<std::vector<DpCell>> dp(
-      static_cast<std::size_t>(k + 1),
-      std::vector<DpCell>(static_cast<std::size_t>(resources + 1)));
-  for (ProcCount p = 0; p <= resources; ++p)
-    dp[0][static_cast<std::size_t>(p)].objective = 0.0;
+  DpTable dp(k, resources);
+  for (ProcCount p = 0; p <= resources; ++p) dp.at(0, p).objective = 0.0;
 
   for (int i = 1; i <= k; ++i) {
     for (ProcCount p = 1; p <= resources; ++p) {
-      DpCell& cell = dp[static_cast<std::size_t>(i)][static_cast<std::size_t>(p)];
+      DpCell& cell = dp.at(i, p);
       for (int j = 0; j < i; ++j) {
         for (ProcCount m = 1; m <= p; ++m) {
           const Seconds mod_t = module_time(stages, j, i - 1, m);
           if (mod_t == kInfiniteTime || mod_t > max_period) continue;
-          const DpCell& prev =
-              dp[static_cast<std::size_t>(j)][static_cast<std::size_t>(p - m)];
+          const DpCell& prev = dp.at(j, p - m);
           if (prev.objective == kInfiniteTime) continue;
           const Seconds candidate = prev.objective + mod_t;
           if (candidate < cell.objective) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
+
+#include "obs/obs.hpp"
 
 namespace oagrid::sched {
 namespace {
@@ -15,10 +18,13 @@ void validate_inputs(std::span<const PerformanceVector> performance,
                    "performance vector shorter than the scenario count");
 }
 
-}  // namespace
-
-Seconds repartition_makespan(std::span<const PerformanceVector> performance,
-                             std::span<const Count> dags_per_cluster) {
+/// Makespan of a distribution with an optional per-cluster placement charge
+/// folded in: max over clusters of performance[c][k-1] (+ charge(c, k)).
+/// The single source of truth for both repartition_makespan and the charged
+/// greedy's finalization tail.
+Seconds charged_makespan(std::span<const PerformanceVector> performance,
+                         std::span<const Count> dags_per_cluster,
+                         const PlacementCharge* charge) {
   OAGRID_REQUIRE(performance.size() == dags_per_cluster.size(),
                  "cluster count mismatch");
   Seconds worst = 0.0;
@@ -27,70 +33,102 @@ Seconds repartition_makespan(std::span<const PerformanceVector> performance,
     if (k <= 0) continue;
     OAGRID_REQUIRE(static_cast<std::size_t>(k) <= performance[c].size(),
                    "distribution exceeds performance vector length");
-    worst = std::max(worst, performance[c][static_cast<std::size_t>(k) - 1]);
+    Seconds load = performance[c][static_cast<std::size_t>(k) - 1];
+    if (charge != nullptr) load += (*charge)(c, k);
+    worst = std::max(worst, load);
   }
   return worst;
 }
 
-Repartition greedy_repartition(std::span<const PerformanceVector> performance,
-                               Count scenarios) {
+/// One candidate placement: cluster `cluster` receiving its
+/// (count_at_push + 1)-th scenario would drive its makespan to `value`.
+struct HeapEntry {
+  Seconds value;
+  std::size_t cluster;
+  Count count_at_push;
+};
+
+/// Min-heap order on (value, cluster id): the pop is the lowest candidate
+/// makespan, ties to the lowest cluster id — exactly the first-argmin a
+/// strict '<' scan in cluster order produces, so assignments match the
+/// paper's pseudocode byte for byte.
+struct HeapAfter {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+    if (a.value != b.value) return a.value > b.value;
+    return a.cluster > b.cluster;
+  }
+};
+
+using CandidateHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapAfter>;
+
+/// Algorithm 1 driven by a lazy-deletion min-heap instead of a per-scenario
+/// full-cluster scan: O(NS log C) pops instead of O(NS * C) comparisons.
+/// Only the cluster that receives a scenario sees its candidate change, so
+/// each placement invalidates exactly one entry — which is immediately
+/// replaced. Entries carry the cluster's dag count at push time and any
+/// entry whose count went stale is recomputed on pop (`charge` may capture
+/// state, so stale values are never trusted).
+Repartition heap_repartition(std::span<const PerformanceVector> performance,
+                             Count scenarios, const PlacementCharge* charge) {
   validate_inputs(performance, scenarios);
   const auto n = performance.size();
   Repartition result;
   result.dags_per_cluster.assign(n, 0);
   result.assignment.reserve(static_cast<std::size_t>(scenarios));
 
+  const auto candidate_for = [&](std::size_t c) {
+    const auto next = static_cast<std::size_t>(result.dags_per_cluster[c]);
+    Seconds value = performance[c][next];  // makespan of next+1 dags
+    if (charge != nullptr) value += (*charge)(c, static_cast<Count>(next) + 1);
+    return HeapEntry{value, c, result.dags_per_cluster[c]};
+  };
+
+  CandidateHeap heap;
+  for (std::size_t c = 0; c < n; ++c) heap.push(candidate_for(c));
+
+  std::uint64_t pops = 0;
   for (Count dag = 0; dag < scenarios; ++dag) {
-    Seconds best = std::numeric_limits<Seconds>::infinity();
-    std::size_t best_cluster = 0;
-    for (std::size_t c = 0; c < n; ++c) {
-      const auto next = static_cast<std::size_t>(result.dags_per_cluster[c]);
-      const Seconds candidate = performance[c][next];  // makespan of next+1 dags
-      if (candidate < best) {
-        best = candidate;
-        best_cluster = c;
-      }
+    HeapEntry top = heap.top();
+    heap.pop();
+    ++pops;
+    while (top.count_at_push != result.dags_per_cluster[top.cluster]) {
+      heap.push(candidate_for(top.cluster));  // lazy deletion: refresh + retry
+      top = heap.top();
+      heap.pop();
+      ++pops;
     }
-    ++result.dags_per_cluster[best_cluster];
-    result.assignment.push_back(static_cast<ClusterId>(best_cluster));
+    ++result.dags_per_cluster[top.cluster];
+    result.assignment.push_back(static_cast<ClusterId>(top.cluster));
+    // The assigned cluster's candidate is the only one that moved; its next
+    // entry stays in bounds because counts never exceed the vector length
+    // while scenarios remain.
+    if (dag + 1 < scenarios) heap.push(candidate_for(top.cluster));
   }
-  result.makespan = repartition_makespan(performance, result.dags_per_cluster);
+  if (obs::enabled())
+    obs::metrics().counter("sched.repartition.heap_pops").add(pops);
+  result.makespan =
+      charged_makespan(performance, result.dags_per_cluster, charge);
   return result;
+}
+
+}  // namespace
+
+Seconds repartition_makespan(std::span<const PerformanceVector> performance,
+                             std::span<const Count> dags_per_cluster) {
+  return charged_makespan(performance, dags_per_cluster, nullptr);
+}
+
+Repartition greedy_repartition(std::span<const PerformanceVector> performance,
+                               Count scenarios) {
+  return heap_repartition(performance, scenarios, nullptr);
 }
 
 Repartition greedy_repartition_charged(
     std::span<const PerformanceVector> performance, Count scenarios,
     const PlacementCharge& charge) {
   if (!charge) return greedy_repartition(performance, scenarios);
-  validate_inputs(performance, scenarios);
-  const auto n = performance.size();
-  Repartition result;
-  result.dags_per_cluster.assign(n, 0);
-  result.assignment.reserve(static_cast<std::size_t>(scenarios));
-
-  for (Count dag = 0; dag < scenarios; ++dag) {
-    Seconds best = std::numeric_limits<Seconds>::infinity();
-    std::size_t best_cluster = 0;
-    for (std::size_t c = 0; c < n; ++c) {
-      const auto next = static_cast<std::size_t>(result.dags_per_cluster[c]);
-      const Seconds candidate =
-          performance[c][next] + charge(c, static_cast<Count>(next) + 1);
-      if (candidate < best) {
-        best = candidate;
-        best_cluster = c;
-      }
-    }
-    ++result.dags_per_cluster[best_cluster];
-    result.assignment.push_back(static_cast<ClusterId>(best_cluster));
-  }
-  for (std::size_t c = 0; c < n; ++c) {
-    const Count k = result.dags_per_cluster[c];
-    if (k > 0)
-      result.makespan = std::max(
-          result.makespan,
-          performance[c][static_cast<std::size_t>(k) - 1] + charge(c, k));
-  }
-  return result;
+  return heap_repartition(performance, scenarios, &charge);
 }
 
 namespace {

@@ -21,11 +21,26 @@ PerformanceVector throughput_performance_vector(
     const platform::Cluster& cluster, Count max_scenarios, Count months) {
   OAGRID_REQUIRE(max_scenarios >= 1, "need at least one scenario");
   OAGRID_REQUIRE(months >= 1, "need at least one month");
+  // One shared DP sweep yields the optimal throughput under every group cap
+  // k = 1..NS (bit-identical to calling best_throughput per k, which would
+  // re-run the whole DP each time). A cluster below the minimum group size
+  // has no family to solve: every throughput is zero.
+  std::vector<knapsack::Solution> family;
+  if (cluster.resources() >= cluster.min_group()) {
+    knapsack::Problem problem;
+    for (ProcCount g = cluster.min_group(); g <= cluster.max_group(); ++g)
+      problem.items.push_back(knapsack::Item{g, 1.0 / cluster.main_time(g)});
+    problem.capacity = cluster.resources();
+    problem.max_items = max_scenarios;
+    family = knapsack::solve_dp_family(problem);
+  }
   PerformanceVector vec;
   vec.reserve(static_cast<std::size_t>(max_scenarios));
   Seconds prev = 0.0;
   for (Count k = 1; k <= max_scenarios; ++k) {
-    const double throughput = best_throughput(cluster, k);
+    const double throughput =
+        family.empty() ? 0.0
+                       : family[static_cast<std::size_t>(k) - 1].value;
     Seconds estimate = kInfiniteTime;
     if (throughput > 0.0) {
       const double mains = static_cast<double>(k * months);

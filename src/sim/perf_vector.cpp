@@ -1,5 +1,7 @@
 #include "sim/perf_vector.hpp"
 
+#include <vector>
+
 #include "common/thread_pool.hpp"
 #include "sim/eval_cache.hpp"
 
@@ -12,6 +14,20 @@ sched::PerformanceVector performance_vector(const platform::Cluster& cluster,
   // The k entries are independent simulations over the same cluster — cached
   // and evaluated in parallel. The service's DES estimator calls this per
   // request, so a warm cache turns repeated estimates into pure lookups.
+  if (heuristic == sched::Heuristic::kKnapsack) {
+    // All NS knapsack groupings come out of one shared DP sweep instead of
+    // NS independent solves (bit-identical schedules, see
+    // sched::knapsack_grouping_family); only the DES evaluation stays per-k.
+    const appmodel::Ensemble family_ensemble{max_scenarios, months};
+    const std::vector<sched::GroupSchedule> schedules =
+        sched::knapsack_grouping_family(cluster, family_ensemble);
+    return parallel_transform(
+        shared_pool(), static_cast<std::size_t>(max_scenarios),
+        [&](std::size_t i) {
+          const appmodel::Ensemble ensemble{static_cast<Count>(i) + 1, months};
+          return cached_makespan(cluster, schedules[i], ensemble);
+        });
+  }
   return parallel_transform(
       shared_pool(), static_cast<std::size_t>(max_scenarios),
       [&](std::size_t i) {

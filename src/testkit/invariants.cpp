@@ -13,6 +13,7 @@
 
 #include "common/rng.hpp"
 #include "fault/parser.hpp"
+#include "knapsack/knapsack.hpp"
 #include "net/parser.hpp"
 #include "sched/lower_bounds.hpp"
 #include "sched/makespan_model.hpp"
@@ -391,6 +392,46 @@ Verdict check_repartition_consistency(const Case& world) {
   return std::nullopt;
 }
 
+// --- family solve: one DP sweep == one solve per cardinality cap -------------
+
+Verdict check_knapsack_family_identity(const Case& world) {
+  Rng rng(world.spec.seed ^ 0x66616d696c796470ull);
+  for (int trial = 0; trial < 8; ++trial) {
+    knapsack::Problem problem;
+    const int kinds = static_cast<int>(rng.uniform_int(1, 6));
+    for (int i = 0; i < kinds; ++i)
+      problem.items.push_back(
+          knapsack::Item{static_cast<int>(rng.uniform_int(1, 11)),
+                         rng.uniform(0.0, 2.0)});
+    problem.capacity = static_cast<int>(rng.uniform_int(0, 60));
+    problem.max_items = rng.uniform_int(1, 10);
+    const std::vector<knapsack::Solution> family =
+        knapsack::solve_dp_family(problem);
+    if (family.size() != static_cast<std::size_t>(problem.max_items))
+      return fail("trial ", trial, ": family has ", family.size(),
+                  " entries for max_items ", problem.max_items);
+    for (Count k = 1; k <= problem.max_items; ++k) {
+      knapsack::Problem capped = problem;
+      capped.max_items = k;
+      const knapsack::Solution direct = knapsack::solve_dp(capped);
+      const knapsack::Solution& from_family =
+          family[static_cast<std::size_t>(k) - 1];
+      if (from_family.counts != direct.counts ||
+          from_family.value != direct.value ||
+          from_family.weight_used != direct.weight_used)
+        return fail("trial ", trial, " cap ", k,
+                    ": family solution (value ", from_family.value,
+                    ", weight ", from_family.weight_used,
+                    ") is not bit-identical to a direct solve (value ",
+                    direct.value, ", weight ", direct.weight_used, ")");
+      if (!knapsack::is_feasible(capped, from_family))
+        return fail("trial ", trial, " cap ", k,
+                    ": family solution is infeasible under its own cap");
+    }
+  }
+  return std::nullopt;
+}
+
 // --- service world -----------------------------------------------------------
 
 /// Scratch directory under the system temp root, removed on scope exit.
@@ -556,6 +597,10 @@ const std::vector<Invariant>& all_invariants() {
        "failure injection re-executes exactly the rewound months: mains == "
        "total + rewound, one post per main",
        check_fault_work_conservation},
+      {"knapsack-family-identity",
+       "every solution extracted by solve_dp_family is bit-identical to an "
+       "independent solve_dp at that cardinality cap",
+       check_knapsack_family_identity},
       {"repartition-consistency",
        "greedy repartition is locally optimal, zero charges are identity, "
        "brute force never loses to it",

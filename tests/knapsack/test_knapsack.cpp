@@ -209,5 +209,57 @@ TEST(Knapsack, DeterministicAcrossCalls) {
   EXPECT_EQ(a.counts, b.counts);
 }
 
+TEST(KnapsackFamily, EveryPrefixMatchesSolveDpExactly) {
+  // family[k-1] must be *bit-identical* to an independent solve with
+  // max_items = k — the contract sim::performance_vector relies on.
+  for (const int r : {4, 11, 23, 53, 77, 110}) {
+    const Problem p = paper_items(r, 10);
+    const std::vector<Solution> family = solve_dp_family(p);
+    ASSERT_EQ(family.size(), 10u) << "R=" << r;
+    for (Count k = 1; k <= 10; ++k) {
+      Problem capped = p;
+      capped.max_items = k;
+      const Solution direct = solve_dp(capped);
+      const Solution& fam = family[static_cast<std::size_t>(k) - 1];
+      EXPECT_EQ(fam.counts, direct.counts) << "R=" << r << " k=" << k;
+      EXPECT_EQ(fam.value, direct.value) << "R=" << r << " k=" << k;
+      EXPECT_EQ(fam.weight_used, direct.weight_used) << "R=" << r << " k=" << k;
+      EXPECT_EQ(fam.items_used, direct.items_used) << "R=" << r << " k=" << k;
+    }
+  }
+}
+
+TEST(KnapsackFamily, RandomInstancesMatchPerCapSolves) {
+  Rng rng(4096);
+  for (int trial = 0; trial < 60; ++trial) {
+    Problem p;
+    const int kinds = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < kinds; ++i)
+      p.items.push_back(Item{static_cast<int>(rng.uniform_int(1, 9)),
+                             rng.uniform(0.0, 2.0)});
+    p.capacity = static_cast<int>(rng.uniform_int(0, 30));
+    p.max_items = rng.uniform_int(1, 8);
+    const std::vector<Solution> family = solve_dp_family(p);
+    ASSERT_EQ(family.size(), static_cast<std::size_t>(p.max_items))
+        << "trial " << trial;
+    for (Count k = 1; k <= p.max_items; ++k) {
+      Problem capped = p;
+      capped.max_items = k;
+      const Solution direct = solve_dp(capped);
+      const Solution& fam = family[static_cast<std::size_t>(k) - 1];
+      EXPECT_EQ(fam.counts, direct.counts) << "trial " << trial << " k=" << k;
+      EXPECT_EQ(fam.value, direct.value) << "trial " << trial << " k=" << k;
+    }
+  }
+}
+
+TEST(KnapsackFamily, FamilyValuesAreMonotoneInTheCap) {
+  // Relaxing the cardinality cap can only help (the feasible set grows).
+  const Problem p = paper_items(53, 10);
+  const std::vector<Solution> family = solve_dp_family(p);
+  for (std::size_t k = 1; k < family.size(); ++k)
+    EXPECT_GE(family[k].value, family[k - 1].value) << "k=" << k + 1;
+}
+
 }  // namespace
 }  // namespace oagrid::knapsack

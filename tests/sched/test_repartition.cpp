@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -204,6 +205,112 @@ TEST(ChargedRepartition, ModerateChargeShiftsTheSplit) {
   EXPECT_EQ(charged.total_dags(), 8);
   EXPECT_GT(charged.dags_per_cluster[0], charged.dags_per_cluster[1]);
   EXPECT_GT(charged.dags_per_cluster[1], 0);
+}
+
+/// The pre-heap Algorithm 1: a full-cluster strict-'<' scan per scenario.
+/// Kept as the reference oracle for the heap implementation's byte-for-byte
+/// equivalence claim.
+Repartition reference_scan_repartition(
+    std::span<const PerformanceVector> performance, Count scenarios,
+    const PlacementCharge& charge) {
+  Repartition result;
+  result.dags_per_cluster.assign(performance.size(), 0);
+  for (Count dag = 0; dag < scenarios; ++dag) {
+    Seconds best = std::numeric_limits<Seconds>::infinity();
+    std::size_t best_cluster = 0;
+    for (std::size_t c = 0; c < performance.size(); ++c) {
+      const auto next = static_cast<std::size_t>(result.dags_per_cluster[c]);
+      Seconds candidate = performance[c][next];
+      if (charge) candidate += charge(c, static_cast<Count>(next) + 1);
+      if (candidate < best) {
+        best = candidate;
+        best_cluster = c;
+      }
+    }
+    ++result.dags_per_cluster[best_cluster];
+    result.assignment.push_back(static_cast<ClusterId>(best_cluster));
+  }
+  for (std::size_t c = 0; c < performance.size(); ++c) {
+    const Count k = result.dags_per_cluster[c];
+    if (k > 0) {
+      Seconds load = performance[c][static_cast<std::size_t>(k) - 1];
+      if (charge) load += charge(c, k);
+      result.makespan = std::max(result.makespan, load);
+    }
+  }
+  return result;
+}
+
+TEST(Repartition, HeapMatchesReferenceScanOnRandomVectors) {
+  // The heap rewrite must reproduce the scan's assignments byte for byte on
+  // arbitrary monotone vectors — same dag order, same cluster ids, same
+  // makespan (EXPECT_EQ, not NEAR).
+  Rng rng(0x48454150);  // "HEAP"
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 8));
+    const Count ns = rng.uniform_int(1, 20);
+    std::vector<PerformanceVector> perf(static_cast<std::size_t>(n));
+    for (auto& v : perf) {
+      Seconds t = rng.uniform(5.0, 50.0);
+      for (Count k = 0; k < ns; ++k) {
+        v.push_back(t);
+        t += rng.uniform(0.0, 20.0);  // non-decreasing
+      }
+    }
+    const Repartition heap = greedy_repartition(perf, ns);
+    const Repartition ref = reference_scan_repartition(perf, ns, nullptr);
+    EXPECT_EQ(heap.assignment, ref.assignment) << "trial " << trial;
+    EXPECT_EQ(heap.dags_per_cluster, ref.dags_per_cluster) << "trial " << trial;
+    EXPECT_EQ(heap.makespan, ref.makespan) << "trial " << trial;
+  }
+}
+
+TEST(Repartition, HeapMatchesReferenceScanUnderExactTies) {
+  // Values drawn from a tiny discrete set force frequent exact double ties;
+  // the heap's (value, cluster id) order must still pick the same first
+  // argmin the scan does.
+  Rng rng(0x54494553);  // "TIES"
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 6));
+    const Count ns = rng.uniform_int(2, 16);
+    std::vector<PerformanceVector> perf(static_cast<std::size_t>(n));
+    for (auto& v : perf) {
+      Seconds t = static_cast<double>(rng.uniform_int(1, 3));
+      for (Count k = 0; k < ns; ++k) {
+        v.push_back(t);
+        t += static_cast<double>(rng.uniform_int(0, 2));  // many plateaus
+      }
+    }
+    const Repartition heap = greedy_repartition(perf, ns);
+    const Repartition ref = reference_scan_repartition(perf, ns, nullptr);
+    EXPECT_EQ(heap.assignment, ref.assignment) << "trial " << trial;
+    EXPECT_EQ(heap.makespan, ref.makespan) << "trial " << trial;
+  }
+}
+
+TEST(ChargedRepartition, HeapMatchesReferenceScanWithCharges) {
+  Rng rng(0x43484752);  // "CHGR"
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 6));
+    const Count ns = rng.uniform_int(2, 16);
+    std::vector<PerformanceVector> perf(static_cast<std::size_t>(n));
+    for (auto& v : perf) {
+      Seconds t = rng.uniform(5.0, 50.0);
+      for (Count k = 0; k < ns; ++k) {
+        v.push_back(t);
+        t += rng.uniform(0.0, 20.0);
+      }
+    }
+    const double rate = rng.uniform(0.0, 10.0);
+    const PlacementCharge charge = [rate](std::size_t cluster, Count k) {
+      return rate * static_cast<double>(cluster) * static_cast<double>(k);
+    };
+    const Repartition heap = greedy_repartition_charged(perf, ns, charge);
+    const Repartition ref = reference_scan_repartition(perf, ns, charge);
+    EXPECT_EQ(heap.assignment, ref.assignment) << "trial " << trial;
+    EXPECT_EQ(heap.dags_per_cluster, ref.dags_per_cluster) << "trial " << trial;
+    EXPECT_EQ(heap.makespan, ref.makespan) << "trial " << trial;
+  }
 }
 
 TEST(Repartition, BruteForceAssignmentConsistent) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "platform/profiles.hpp"
@@ -88,6 +89,41 @@ TEST(ThroughputVector, GreedyOnAnalyticVectorsMatchesSimulatedChoice) {
   const Seconds cost_of_analytic_choice =
       repartition_makespan(simulated, ra.dags_per_cluster);
   EXPECT_LT(cost_of_analytic_choice / rs.makespan, 1.05);
+}
+
+TEST(ThroughputVector, BitIdenticalToPerCapBestThroughput) {
+  // The family-solve fast path must reproduce the old per-k loop exactly —
+  // same doubles, clamp included (EXPECT_EQ, not NEAR).
+  const Count months = 60;
+  for (int profile = 0; profile < 5; ++profile) {
+    for (const ProcCount r : {7, 23, 40, 61, 110}) {
+      const auto c = platform::make_builtin_cluster(profile, r);
+      const Count ns = 12;
+      const PerformanceVector vec =
+          throughput_performance_vector(c, ns, months);
+      ASSERT_EQ(vec.size(), static_cast<std::size_t>(ns));
+      Seconds prev = 0.0;
+      for (Count k = 1; k <= ns; ++k) {
+        const double throughput = best_throughput(c, k);
+        Seconds expected = kInfiniteTime;
+        if (throughput > 0.0)
+          expected = static_cast<double>(k * months) / throughput +
+                     c.post_time();
+        expected = std::max(expected, prev);
+        EXPECT_EQ(vec[static_cast<std::size_t>(k) - 1], expected)
+            << "profile " << profile << " R=" << r << " k=" << k;
+        prev = expected;
+      }
+    }
+  }
+}
+
+TEST(ThroughputVector, TinyClusterYieldsInfiniteEstimates) {
+  // Below the minimum group size no family exists; every entry must be the
+  // infinite sentinel, exactly as the per-k route produced.
+  const auto c = platform::make_builtin_cluster(1, 3);
+  const PerformanceVector vec = throughput_performance_vector(c, 4, 12);
+  for (const Seconds t : vec) EXPECT_EQ(t, kInfiniteTime);
 }
 
 TEST(ThroughputVector, Validation) {
